@@ -1,0 +1,146 @@
+// Reproduces paper Fig. 1: a hybrid workload (point queries + TPC-H Q6-style
+// range queries + inserts + a few updates) executed on (i) a vanilla
+// column-store, (ii) the state-of-the-art delta-store design, and (iii)
+// Casper's workload-tailored layout. The paper reports the delta store ~2x
+// over vanilla and Casper ~4x over the delta store (8x overall), with 1%
+// update buffering.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "layouts/layout_engine.h"
+#include "util/stopwatch.h"
+#include "workload/capture.h"
+#include "workload/tpch.h"
+
+namespace casper::bench {
+namespace {
+
+struct Fig1Result {
+  double point_us = 0;
+  double q6_us = 0;
+  double insert_us = 0;
+  double throughput = 0;
+};
+
+Fig1Result RunMode(LayoutMode mode, const tpch::Lineitem& table,
+                   const std::vector<Operation>& ops,
+                   const std::vector<Operation>& training) {
+  LayoutBuildOptions opts;
+  opts.mode = mode;
+  opts.ghost_fraction = 0.01;  // the paper's Fig. 1 uses 1% buffering
+  opts.training = &training;
+  auto engine = BuildLayout(opts, table.shipdate, table.payload);
+
+  Fig1Result r;
+  LatencyRecorder pq, q6, ins;
+  Rng payload_rng(77);
+  Stopwatch total;
+  Stopwatch op_timer;
+  for (const Operation& op : ops) {
+    op_timer.Restart();
+    switch (op.kind) {
+      case OpKind::kPointQuery: {
+        std::vector<Payload> row;
+        engine->PointLookup(op.a, &row);
+        pq.Record(op_timer.ElapsedNanos());
+        break;
+      }
+      case OpKind::kRangeSum: {  // stands in for TPC-H Q6
+        engine->TpchQ6(op.a, op.b, tpch::kQ6DiscountLo, tpch::kQ6DiscountHi,
+                       tpch::kQ6QuantityBound);
+        q6.Record(op_timer.ElapsedNanos());
+        break;
+      }
+      case OpKind::kInsert: {
+        engine->Insert(op.a, {static_cast<Payload>(1 + payload_rng.Below(50)),
+                              static_cast<Payload>(payload_rng.Below(11)),
+                              static_cast<Payload>(901 + payload_rng.Below(104050))});
+        ins.Record(op_timer.ElapsedNanos());
+        break;
+      }
+      case OpKind::kUpdate: {
+        engine->UpdateKey(op.a, op.b);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  r.throughput = static_cast<double>(ops.size()) / total.ElapsedSeconds();
+  r.point_us = pq.MeanMicros();
+  r.q6_us = q6.MeanMicros();
+  r.insert_us = ins.MeanMicros();
+  return r;
+}
+
+int Main() {
+  const size_t rows = ScaledRows(2'000'000);
+  const size_t num_ops = NumOps();
+  PrintHeader("Figure 1", "headline: vanilla vs delta-store vs Casper on "
+                          "point + TPC-H Q6 + insert workload");
+
+  Rng rng(42);
+  auto table = tpch::MakeLineitem(rows, rng);
+  const Value domain = tpch::kDateDomainDays * 1024;
+
+  // Workload: equality lookups and inserts on recent dates + Q6 analytics.
+  Rng wl_rng(43), train_rng(44);
+  std::vector<Operation> ops, training;
+  auto gen = [&](Rng& r, std::vector<Operation>* out) {
+    for (size_t i = 0; i < num_ops; ++i) {
+      const double pick = r.NextDouble();
+      Operation op{};
+      if (pick < 0.45) {
+        op.kind = OpKind::kPointQuery;
+        op.a = static_cast<Value>((0.7 + 0.3 * r.NextDouble()) *
+                                  static_cast<double>(domain));
+      } else if (pick < 0.50) {
+        op.kind = OpKind::kRangeSum;  // Q6 proxy
+        auto b = tpch::RandomQ6Bounds(r);
+        op.a = b.date_lo;
+        op.b = b.date_hi;
+      } else if (pick < 0.99) {
+        op.kind = OpKind::kInsert;
+        op.a = static_cast<Value>((0.7 + 0.3 * r.NextDouble()) *
+                                  static_cast<double>(domain));
+      } else {
+        op.kind = OpKind::kUpdate;
+        op.a = static_cast<Value>(r.Below(static_cast<uint64_t>(domain)));
+        op.b = static_cast<Value>(r.Below(static_cast<uint64_t>(domain)));
+      }
+      out->push_back(op);
+    }
+  };
+  gen(wl_rng, &ops);
+  gen(train_rng, &training);
+
+  std::printf("rows=%zu ops=%zu (CASPER_SCALE/CASPER_OPS to resize)\n", rows,
+              num_ops);
+  std::printf("%-22s %14s %14s %14s %16s\n", "layout", "point (us)", "Q6 (us)",
+              "insert (us)", "ops/s");
+
+  Fig1Result vanilla = RunMode(LayoutMode::kNoOrder, table, ops, training);
+  Fig1Result delta = RunMode(LayoutMode::kDeltaStore, table, ops, training);
+  Fig1Result casper = RunMode(LayoutMode::kCasper, table, ops, training);
+  auto row = [](const char* name, const Fig1Result& r) {
+    std::printf("%-22s %14.2f %14.2f %14.3f %16.0f\n", name, r.point_us, r.q6_us,
+                r.insert_us, r.throughput);
+  };
+  row("vanilla column-store", vanilla);
+  row("col-store with delta", delta);
+  row("Casper (optimal)", casper);
+
+  std::printf("\nSpeedup over vanilla:   delta %.2fx, Casper %.2fx\n",
+              delta.throughput / vanilla.throughput,
+              casper.throughput / vanilla.throughput);
+  std::printf("Speedup over delta:     Casper %.2fx   (paper: ~4x at 100M rows, "
+              "32 cores)\n",
+              casper.throughput / delta.throughput);
+  return 0;
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() { return casper::bench::Main(); }

@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 2: (a) read cost decreases logarithmically and write
+// cost increases linearly with the number of partitions; (b) ghost values
+// reduce write cost linearly in memory amplification at a sublinear read
+// penalty. Part (a) uses the calibrated cost model; part (b) measures the
+// actual storage engine.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/access_cost.h"
+#include "model/cost_model.h"
+#include "storage/column_chunk.h"
+#include "util/stopwatch.h"
+
+namespace casper::bench {
+namespace {
+
+void PartA() {
+  std::printf("\n-- (a) impact of structure: cost vs #partitions (cost model) --\n");
+  const size_t blocks = 256;
+  const AccessCostConstants c = CalibrateEngineCosts(2048);
+  std::printf("%12s %18s %18s\n", "#partitions", "read cost (norm)", "write cost (norm)");
+  double read0 = 0, write0 = 0;
+  for (size_t k = 1; k <= blocks; k *= 2) {
+    Partitioning p = Partitioning::EquiWidth(blocks, k);
+    const auto u = PredictUniform(p, c);
+    if (k == 1) {
+      read0 = u.point_query_ns;
+      write0 = u.insert_ns;
+    }
+    std::printf("%12zu %18.4f %18.4f\n", k, u.point_query_ns / read0,
+                u.insert_ns / write0);
+  }
+  std::printf("(expect: reads shrink ~1/k, writes grow ~k)\n");
+}
+
+void PartB() {
+  std::printf("\n-- (b) impact of ghost values: measured write cost vs memory "
+              "amplification --\n");
+  const size_t rows = ScaledRows(1 << 20);
+  const size_t parts = 256;
+  std::printf("%16s %14s %22s %20s\n", "ghost fraction", "mem amp",
+              "insert (ns, measured)", "point query (ns)");
+  for (const double gf : {0.0, 0.01, 0.02, 0.05, 0.10, 0.25}) {
+    std::vector<Value> values;
+    values.reserve(rows);
+    Rng rng(5);
+    for (size_t i = 0; i < rows; ++i) {
+      values.push_back(static_cast<Value>(rng.Below(rows * 4)));
+    }
+    std::sort(values.begin(), values.end());
+    std::vector<size_t> sizes(parts, rows / parts);
+    sizes.back() += rows % parts;
+    const size_t budget = static_cast<size_t>(gf * static_cast<double>(rows));
+    std::vector<size_t> ghosts(parts, budget / parts);
+    PartitionedColumnChunk::Options copts;
+    copts.dense = (budget == 0);
+    PartitionedColumnChunk chunk =
+        PartitionedColumnChunk::Build(values, sizes, ghosts, copts);
+
+    const size_t n_ops = std::min<size_t>(NumOps(), budget == 0 ? 4000 : 20000);
+    Rng op_rng(6);
+    Stopwatch sw;
+    for (size_t i = 0; i < n_ops; ++i) {
+      chunk.Insert(static_cast<Value>(op_rng.Below(rows * 4)));
+    }
+    const double insert_ns = sw.ElapsedNanos() / static_cast<double>(n_ops);
+    Stopwatch sw2;
+    uint64_t sink = 0;
+    for (size_t i = 0; i < 2000; ++i) {
+      sink += chunk.CountEqual(static_cast<Value>(op_rng.Below(rows * 4)));
+    }
+    const double pq_ns = sw2.ElapsedNanos() / 2000.0;
+    const double amp =
+        static_cast<double>(chunk.capacity()) / static_cast<double>(rows);
+    std::printf("%15.2f%% %14.3f %22.1f %20.1f   (sink %lu)\n", gf * 100, amp,
+                insert_ns, pq_ns, static_cast<unsigned long>(sink % 10));
+  }
+  std::printf("(expect: insert cost drops steeply with buffer space; point query "
+              "cost roughly flat)\n");
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() {
+  casper::bench::PrintHeader("Figure 2", "structure & ghost-value tradeoffs");
+  casper::bench::PartA();
+  casper::bench::PartB();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 12: throughput of the six layout modes across the
+// six HAP workloads, normalized to the state-of-the-art delta store. The
+// paper reports Casper at 1.75x/2.14x (hybrid), ~0.95-1.16x (read-only),
+// and 2.28x/2.32x (update-only) of the delta store.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+
+namespace casper::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Figure 12",
+              "normalized throughput: 6 layouts x 6 HAP workloads");
+  const size_t rows = ScaledRows(2'000'000);
+  const size_t num_ops = NumOps();
+  std::printf("rows=%zu ops=%zu ghost=1%%\n\n", rows, num_ops);
+
+  const auto workloads = hap::Figure12Workloads();
+  std::printf("%-24s", "workload");
+  for (const LayoutMode mode : AllLayouts()) {
+    std::printf(" %12s", std::string(LayoutModeName(mode)).c_str());
+  }
+  std::printf("   (x State-of-art)\n");
+
+  for (const auto w : workloads) {
+    BuiltWorkload exp = MakeHapExperiment(w, rows, num_ops);
+    std::map<LayoutMode, double> tput;
+    for (const LayoutMode mode : AllLayouts()) {
+      tput[mode] = RunLayout(mode, exp).ThroughputOpsPerSec();
+    }
+    const double base = tput[LayoutMode::kDeltaStore];
+    std::printf("%-24s", std::string(hap::WorkloadName(w)).c_str());
+    for (const LayoutMode mode : AllLayouts()) {
+      std::printf(" %12.2f", tput[mode] / base);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper, Casper column: hybrid,skewed 1.75 | hybrid,range 2.14 | "
+              "read-only,skewed 0.95 |\n read-only,uniform 1.44 (text) | "
+              "update-only,skewed 2.28 | update-only,uniform 2.32)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() { return casper::bench::Main(); }

@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 13: per-operation latency drill-down for
+// (a) hybrid skewed (Q1 49% / Q4 50% / Q6 1%),
+// (b) read-only skewed (Q1 94% / Q2 5% / Q6 1%),
+// (c) update-only uniform (Q4 80% / Q5 19% / Q6 1%),
+// across all six layouts, plus workload throughput.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace casper::bench {
+namespace {
+
+void RunPanel(const char* title, hap::Workload w, size_t rows, size_t num_ops) {
+  std::printf("\n--- %s ---\n", title);
+  BuiltWorkload exp = MakeHapExperiment(w, rows, num_ops);
+  std::printf("%-14s", "layout");
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    std::printf(" %12s", std::string(OpKindName(static_cast<OpKind>(k))).c_str());
+  }
+  std::printf(" %14s\n", "Kops/s");
+  for (const LayoutMode mode : AllLayouts()) {
+    HarnessResult r = RunLayout(mode, exp);
+    std::printf("%-14s", std::string(LayoutModeName(mode)).c_str());
+    for (int k = 0; k < kNumOpKinds; ++k) {
+      const auto& rec = r.latency[static_cast<size_t>(k)];
+      if (rec.count() == 0) {
+        std::printf(" %12s", "-");
+      } else {
+        std::printf(" %10.2fus", rec.MeanMicros());
+      }
+    }
+    std::printf(" %14.1f\n", r.ThroughputOpsPerSec() / 1000.0);
+  }
+}
+
+int Main() {
+  PrintHeader("Figure 13", "per-operation latency per layout");
+  const size_t rows = ScaledRows(2'000'000);
+  const size_t num_ops = NumOps();
+  std::printf("rows=%zu ops=%zu\n", rows, num_ops);
+  RunPanel("(a) hybrid (Q1 49%, Q4 50%, Q6 1%), skewed",
+           hap::Workload::kHybridSkewed, rows, num_ops);
+  RunPanel("(b) read-only (Q1 94%, Q2 5%, Q6 1%), skewed",
+           hap::Workload::kReadOnlySkewed, rows, num_ops);
+  RunPanel("(c) update-only (Q4 80%, Q5 19%, Q6 1%), uniform",
+           hap::Workload::kUpdateOnlyUniform, rows, num_ops);
+  std::printf("\n(paper: (a) Casper inserts orders of magnitude faster without "
+              "hurting Q1;\n (b) Casper matches the delta store; (c) Casper 2x+ "
+              "all others)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() { return casper::bench::Main(); }

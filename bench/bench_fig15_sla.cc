@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 15: Casper meets an insert-latency SLA by bounding
+// the partition count (Eq. 21), with negligible overall-throughput impact
+// (<3% in the paper) — while the update (Q6) cost rises as fewer partitions
+// make the embedded point query more expensive.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/access_cost.h"
+
+namespace casper::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Figure 15", "meeting insert-latency SLAs");
+  const size_t rows = ScaledRows(1 << 21);
+  const size_t num_ops = NumOps();
+  // The paper's workload: Q1 89%, Q4 10%, Q6 1%.
+  BuiltWorkload exp = MakeHapExperiment(hap::Workload::kSlaHybrid, rows, num_ops);
+
+  const AccessCostConstants c = CalibrateEngineCosts(2048);
+  std::printf("rows=%zu ops=%zu calibrated RR+RW=%.1fns\n\n", rows, num_ops,
+              c.rr + c.rw);
+  std::printf("%12s %12s %14s %14s %14s %14s %12s\n", "SLA (us)", "max parts",
+              "Q1 (us)", "Q4 avg (us)", "Q4 p99.9(us)", "Q6 (us)", "Kops/s");
+
+  // SLA = (RR+RW) * (1 + max_partitions): sweep partition budgets like the
+  // paper sweeps microsecond SLAs.
+  const size_t budgets[] = {0, 256, 128, 64, 32, 16, 8};
+  for (const size_t budget : budgets) {
+    LayoutBuildOptions opts;
+    if (budget > 0) {
+      opts.planner.update_sla_ns = (c.rr + c.rw) * (1.0 + static_cast<double>(budget));
+    }
+    HarnessResult r = RunLayout(LayoutMode::kCasper, exp, opts);
+    const double sla_us =
+        budget == 0 ? 0.0
+                    : (c.rr + c.rw) * (1.0 + static_cast<double>(budget)) / 1000.0;
+    char sla_label[32];
+    if (budget == 0) {
+      std::snprintf(sla_label, sizeof(sla_label), "none");
+    } else {
+      std::snprintf(sla_label, sizeof(sla_label), "%.2f", sla_us);
+    }
+    std::printf("%12s %12zu %14.2f %14.3f %14.3f %14.2f %12.1f\n", sla_label,
+                budget == 0 ? size_t{0} : budget, r.Rec(OpKind::kPointQuery).MeanMicros(),
+                r.Rec(OpKind::kInsert).MeanMicros(),
+                r.Rec(OpKind::kInsert).PercentileMicros(0.999),
+                r.Rec(OpKind::kUpdate).MeanMicros(),
+                r.ThroughputOpsPerSec() / 1000.0);
+  }
+  std::printf("\n(expect: Q4 latency falls with tighter SLA; Q6 rises as "
+              "partitions get coarser;\n throughput within a few %% of the "
+              "unconstrained run — paper reports <3%%)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace casper::bench
+
+int main() { return casper::bench::Main(); }

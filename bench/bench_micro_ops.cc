@@ -1,0 +1,128 @@
+// Google-benchmark micro-benchmarks for the storage-engine primitives the
+// cost model prices: partition scans (SR), ripple steps (RR+RW), partition
+// index probes, and the chunk's five operations. These are the numbers
+// CalibrateEngineCosts feeds the optimizer (paper §4.5).
+#include <algorithm>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "storage/column_chunk.h"
+#include "storage/partition_index.h"
+#include "util/rng.h"
+
+namespace casper {
+namespace {
+
+PartitionedColumnChunk MakeChunk(size_t rows, size_t parts, size_t ghosts_each,
+                                 bool dense) {
+  Rng rng(1);
+  std::vector<Value> values;
+  values.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    values.push_back(static_cast<Value>(rng.Below(rows * 4)));
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<size_t> sizes(parts, rows / parts);
+  sizes.back() += rows % parts;
+  PartitionedColumnChunk::Options opts;
+  opts.dense = dense;
+  opts.spare_tail = dense ? (1 << 16) : 0;
+  return PartitionedColumnChunk::Build(values, sizes,
+                                       std::vector<size_t>(parts, ghosts_each),
+                                       opts);
+}
+
+void BM_PointQuery(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  auto chunk = MakeChunk(1 << 20, parts, 0, false);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chunk.CountEqual(static_cast<Value>(rng.Below(4 << 20))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointQuery)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RangeCount(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  auto chunk = MakeChunk(1 << 20, parts, 0, false);
+  Rng rng(3);
+  const Value width = (4 << 20) / 100;  // ~1% selectivity
+  for (auto _ : state) {
+    const Value lo = static_cast<Value>(rng.Below(4 << 20));
+    benchmark::DoNotOptimize(chunk.CountRange(lo, lo + width));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeCount)->Arg(64)->Arg(256);
+
+void BM_InsertWithGhosts(benchmark::State& state) {
+  const size_t ghosts = static_cast<size_t>(state.range(0));
+  auto chunk = MakeChunk(1 << 20, 256, ghosts, ghosts == 0);
+  Rng rng(4);
+  for (auto _ : state) {
+    chunk.Insert(static_cast<Value>(rng.Below(4 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertWithGhosts)->Arg(0)->Arg(64)->Arg(1024);
+
+void BM_DeleteAndReinsert(benchmark::State& state) {
+  auto chunk = MakeChunk(1 << 20, 256, 16, false);
+  Rng rng(5);
+  for (auto _ : state) {
+    const Value v = static_cast<Value>(rng.Below(4 << 20));
+    if (chunk.DeleteOne(v) > 0) chunk.Insert(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeleteAndReinsert);
+
+void BM_RippleUpdate(benchmark::State& state) {
+  auto chunk = MakeChunk(1 << 20, 256, 16, false);
+  Rng rng(6);
+  for (auto _ : state) {
+    const Value from = static_cast<Value>(rng.Below(4 << 20));
+    const Value to = static_cast<Value>(rng.Below(4 << 20));
+    benchmark::DoNotOptimize(chunk.Update(from, to));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RippleUpdate);
+
+void BM_PartitionIndexRoute(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  std::vector<Value> uppers;
+  for (size_t i = 1; i <= parts; ++i) {
+    uppers.push_back(static_cast<Value>(i * 1000));
+  }
+  PartitionIndex index(uppers, 9);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Route(static_cast<Value>(rng.Below(parts * 1000 + 500))));
+  }
+}
+BENCHMARK(BM_PartitionIndexRoute)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_PartitionIndexBinarySearch(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  std::vector<Value> uppers;
+  for (size_t i = 1; i <= parts; ++i) {
+    uppers.push_back(static_cast<Value>(i * 1000));
+  }
+  PartitionIndex index(uppers, 9);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.RouteBinarySearch(
+        static_cast<Value>(rng.Below(parts * 1000 + 500))));
+  }
+}
+BENCHMARK(BM_PartitionIndexBinarySearch)->Arg(64)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace casper
+
+BENCHMARK_MAIN();

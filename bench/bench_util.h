@@ -1,0 +1,87 @@
+#ifndef CASPER_BENCH_BENCH_UTIL_H_
+#define CASPER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/harness.h"
+#include "layouts/layout_factory.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/hap.h"
+
+namespace casper::bench {
+
+/// CASPER_SCALE multiplies dataset sizes (default 1.0). CASPER_OPS overrides
+/// the per-experiment operation count (default: the paper's 10000, §7).
+inline double ScaleFactor() {
+  const char* s = std::getenv("CASPER_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline size_t ScaledRows(size_t base) {
+  const double scaled = static_cast<double>(base) * ScaleFactor();
+  return scaled < 1024 ? 1024 : static_cast<size_t>(scaled);
+}
+
+inline size_t NumOps(size_t base = 10000) {
+  const char* s = std::getenv("CASPER_OPS");
+  return s != nullptr ? static_cast<size_t>(std::atoll(s)) : base;
+}
+
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("(reproduction; absolute numbers are machine-specific, the paper\n");
+  std::printf(" comparison lives in EXPERIMENTS.md)\n");
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::string& label, double value, const char* unit) {
+  std::printf("  %-28s %12.2f %s\n", label.c_str(), value, unit);
+}
+
+/// The six layouts of Fig. 12 in paper order.
+inline std::vector<LayoutMode> AllLayouts() {
+  return {LayoutMode::kCasper,       LayoutMode::kEquiWidthGhost,
+          LayoutMode::kEquiWidth,    LayoutMode::kDeltaStore,
+          LayoutMode::kSorted,       LayoutMode::kNoOrder};
+}
+
+struct BuiltWorkload {
+  hap::Dataset data;
+  WorkloadSpec spec;
+  std::vector<Operation> training;
+  std::vector<Operation> ops;
+};
+
+/// Standard experiment input: dataset + training sample + replay stream,
+/// all deterministic for a given workload and size.
+inline BuiltWorkload MakeHapExperiment(hap::Workload w, size_t rows, size_t num_ops,
+                                       size_t payload_cols = 2,
+                                       uint64_t seed = 1234) {
+  BuiltWorkload out;
+  Rng data_rng(seed);
+  out.data = hap::MakeDataset(rows, payload_cols, data_rng);
+  out.spec = hap::MakeSpec(w, out.data.domain_lo, out.data.domain_hi);
+  Rng train_rng(seed + 1);
+  Rng run_rng(seed + 2);
+  out.training = GenerateWorkload(out.spec, num_ops, train_rng);
+  out.ops = GenerateWorkload(out.spec, num_ops, run_rng);
+  return out;
+}
+
+/// Builds a layout and replays the op stream; returns the harness result.
+inline HarnessResult RunLayout(LayoutMode mode, const BuiltWorkload& w,
+                               LayoutBuildOptions opts = LayoutBuildOptions()) {
+  opts.mode = mode;
+  opts.training = &w.training;
+  auto engine = BuildLayout(opts, w.data.keys, w.data.payload);
+  return RunWorkload(*engine, w.ops);
+}
+
+}  // namespace casper::bench
+
+#endif  // CASPER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+#ifndef CASPER_COMPRESSION_BITPACK_H_
+#define CASPER_COMPRESSION_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace casper {
+
+/// Fixed-width bit packing into 64-bit words; the storage primitive shared
+/// by the dictionary and frame-of-reference codecs (paper §6.2).
+class BitPackedArray {
+ public:
+  BitPackedArray() = default;
+
+  BitPackedArray(size_t count, unsigned bit_width)
+      : count_(count), width_(bit_width) {
+    CASPER_CHECK(bit_width <= 64);
+    words_.assign((count * width_ + 63) / 64 + 1, 0);
+  }
+
+  void Set(size_t i, uint64_t value) {
+    CASPER_CHECK(i < count_);
+    if (width_ == 0) return;
+    const uint64_t mask = width_ == 64 ? ~uint64_t{0} : ((uint64_t{1} << width_) - 1);
+    CASPER_CHECK((value & ~mask) == 0);
+    const size_t bit = i * width_;
+    const size_t word = bit / 64;
+    const unsigned offset = bit % 64;
+    words_[word] &= ~(mask << offset);
+    words_[word] |= value << offset;
+    if (offset + width_ > 64) {
+      const unsigned spill = offset + width_ - 64;
+      words_[word + 1] &= ~(mask >> (width_ - spill));
+      words_[word + 1] |= value >> (width_ - spill);
+    }
+  }
+
+  uint64_t Get(size_t i) const {
+    CASPER_CHECK(i < count_);
+    if (width_ == 0) return 0;
+    const uint64_t mask = width_ == 64 ? ~uint64_t{0} : ((uint64_t{1} << width_) - 1);
+    const size_t bit = i * width_;
+    const size_t word = bit / 64;
+    const unsigned offset = bit % 64;
+    uint64_t v = words_[word] >> offset;
+    if (offset + width_ > 64) {
+      v |= words_[word + 1] << (64 - offset);
+    }
+    return v & mask;
+  }
+
+  size_t size() const { return count_; }
+  unsigned bit_width() const { return width_; }
+  size_t bytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t count_ = 0;
+  unsigned width_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Bits needed to represent `max_value` (0 -> 0 bits).
+inline unsigned BitsFor(uint64_t max_value) {
+  unsigned bits = 0;
+  while (max_value > 0) {
+    ++bits;
+    max_value >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace casper
+
+#endif  // CASPER_COMPRESSION_BITPACK_H_

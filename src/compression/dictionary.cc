@@ -1,0 +1,51 @@
+#include "compression/dictionary.h"
+
+#include <algorithm>
+
+namespace casper {
+
+DictionaryColumn::DictionaryColumn(const std::vector<Value>& values) {
+  dict_ = values;
+  std::sort(dict_.begin(), dict_.end());
+  dict_.erase(std::unique(dict_.begin(), dict_.end()), dict_.end());
+  const unsigned width = BitsFor(dict_.empty() ? 0 : dict_.size() - 1);
+  codes_ = BitPackedArray(values.size(), width);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t code = static_cast<size_t>(
+        std::lower_bound(dict_.begin(), dict_.end(), values[i]) - dict_.begin());
+    codes_.Set(i, code);
+  }
+}
+
+uint64_t DictionaryColumn::CountRange(Value lo, Value hi) const {
+  if (lo >= hi || dict_.empty()) return 0;
+  // Order-preserving dictionary: translate the value range to a code range.
+  const uint64_t code_lo = static_cast<uint64_t>(
+      std::lower_bound(dict_.begin(), dict_.end(), lo) - dict_.begin());
+  const uint64_t code_hi = static_cast<uint64_t>(
+      std::lower_bound(dict_.begin(), dict_.end(), hi) - dict_.begin());
+  if (code_lo >= code_hi) return 0;
+  uint64_t count = 0;
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    const uint64_t c = codes_.Get(i);
+    count += (c >= code_lo && c < code_hi);
+  }
+  return count;
+}
+
+void DictionaryColumn::CollectEqual(Value v, std::vector<uint32_t>* out) const {
+  const auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
+  if (it == dict_.end() || *it != v) return;
+  const uint64_t code = static_cast<uint64_t>(it - dict_.begin());
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    if (codes_.Get(i) == code) out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<Value> DictionaryColumn::DecodeAll() const {
+  std::vector<Value> out(codes_.size());
+  for (size_t i = 0; i < codes_.size(); ++i) out[i] = dict_[codes_.Get(i)];
+  return out;
+}
+
+}  // namespace casper

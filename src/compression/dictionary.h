@@ -1,0 +1,49 @@
+#ifndef CASPER_COMPRESSION_DICTIONARY_H_
+#define CASPER_COMPRESSION_DICTIONARY_H_
+
+#include <vector>
+
+#include "compression/bitpack.h"
+#include "storage/types.h"
+
+namespace casper {
+
+/// Order-preserving dictionary compression (paper §6.2: "dictionary
+/// compression is supported by Casper as-is"). The dictionary is sorted, so
+/// range predicates on values translate to range predicates on codes and
+/// scans run directly on the packed codes.
+class DictionaryColumn {
+ public:
+  explicit DictionaryColumn(const std::vector<Value>& values);
+
+  size_t size() const { return codes_.size(); }
+  Value Get(size_t i) const { return dict_[codes_.Get(i)]; }
+
+  size_t dictionary_size() const { return dict_.size(); }
+  unsigned bit_width() const { return codes_.bit_width(); }
+
+  /// Count of values in [lo, hi), evaluated on codes without decoding.
+  uint64_t CountRange(Value lo, Value hi) const;
+
+  /// Positions of values equal to v (empty if v is not in the dictionary).
+  void CollectEqual(Value v, std::vector<uint32_t>* out) const;
+
+  std::vector<Value> DecodeAll() const;
+
+  size_t CompressedBytes() const {
+    return codes_.bytes() + dict_.size() * sizeof(Value);
+  }
+  size_t UncompressedBytes() const { return codes_.size() * sizeof(Value); }
+  double CompressionRatio() const {
+    return static_cast<double>(UncompressedBytes()) /
+           static_cast<double>(CompressedBytes());
+  }
+
+ private:
+  std::vector<Value> dict_;  // sorted distinct values
+  BitPackedArray codes_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_COMPRESSION_DICTIONARY_H_

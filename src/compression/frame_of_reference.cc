@@ -1,0 +1,123 @@
+#include "compression/frame_of_reference.h"
+
+#include <algorithm>
+
+namespace casper {
+
+FrameOfReferenceColumn::FrameOfReferenceColumn(const std::vector<Value>& values,
+                                               const std::vector<size_t>& frame_sizes) {
+  BuildFrames(values, frame_sizes);
+}
+
+FrameOfReferenceColumn::FrameOfReferenceColumn(const std::vector<Value>& values,
+                                               size_t frame_width) {
+  CASPER_CHECK(frame_width > 0);
+  std::vector<size_t> sizes;
+  size_t remaining = values.size();
+  while (remaining > 0) {
+    const size_t take = std::min(remaining, frame_width);
+    sizes.push_back(take);
+    remaining -= take;
+  }
+  BuildFrames(values, sizes);
+}
+
+void FrameOfReferenceColumn::BuildFrames(const std::vector<Value>& values,
+                                         const std::vector<size_t>& frame_sizes) {
+  count_ = values.size();
+  size_t begin = 0;
+  for (const size_t sz : frame_sizes) {
+    CASPER_CHECK(sz > 0 && begin + sz <= values.size());
+    Frame f;
+    f.begin = begin;
+    f.reference = *std::min_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                                    values.begin() + static_cast<ptrdiff_t>(begin + sz));
+    f.max = *std::max_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                              values.begin() + static_cast<ptrdiff_t>(begin + sz));
+    const unsigned width = BitsFor(static_cast<uint64_t>(f.max - f.reference));
+    f.offsets = BitPackedArray(sz, width);
+    for (size_t i = 0; i < sz; ++i) {
+      f.offsets.Set(i, static_cast<uint64_t>(values[begin + i] - f.reference));
+    }
+    frames_.push_back(std::move(f));
+    begin += sz;
+  }
+  CASPER_CHECK_MSG(begin == values.size(), "frames must cover all values");
+}
+
+size_t FrameOfReferenceColumn::size() const { return count_; }
+
+Value FrameOfReferenceColumn::Get(size_t i) const {
+  CASPER_CHECK(i < count_);
+  // Binary search the owning frame by begin offset.
+  size_t lo = 0, hi = frames_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (frames_[mid].begin <= i) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Frame& f = frames_[lo];
+  return f.reference + static_cast<Value>(f.offsets.Get(i - f.begin));
+}
+
+uint64_t FrameOfReferenceColumn::CountRange(Value lo, Value hi) const {
+  if (lo >= hi) return 0;
+  uint64_t count = 0;
+  for (const Frame& f : frames_) {
+    if (f.reference >= hi || f.max < lo) continue;  // zonemap skip
+    if (f.reference >= lo && f.max < hi) {
+      count += f.offsets.size();  // frame fully qualifies
+      continue;
+    }
+    for (size_t i = 0; i < f.offsets.size(); ++i) {
+      const Value v = f.reference + static_cast<Value>(f.offsets.Get(i));
+      count += (v >= lo && v < hi);
+    }
+  }
+  return count;
+}
+
+int64_t FrameOfReferenceColumn::SumAll() const {
+  int64_t sum = 0;
+  for (const Frame& f : frames_) {
+    sum += f.reference * static_cast<int64_t>(f.offsets.size());
+    for (size_t i = 0; i < f.offsets.size(); ++i) {
+      sum += static_cast<int64_t>(f.offsets.Get(i));
+    }
+  }
+  return sum;
+}
+
+std::vector<Value> FrameOfReferenceColumn::DecodeAll() const {
+  std::vector<Value> out;
+  out.reserve(count_);
+  for (const Frame& f : frames_) {
+    for (size_t i = 0; i < f.offsets.size(); ++i) {
+      out.push_back(f.reference + static_cast<Value>(f.offsets.Get(i)));
+    }
+  }
+  return out;
+}
+
+size_t FrameOfReferenceColumn::CompressedBytes() const {
+  size_t bytes = 0;
+  for (const Frame& f : frames_) {
+    bytes += sizeof(Value) * 2 + sizeof(size_t) + f.offsets.bytes();
+  }
+  return bytes;
+}
+
+double FrameOfReferenceColumn::MeanBitsPerValue() const {
+  if (count_ == 0) return 0.0;
+  double bits = 0.0;
+  for (const Frame& f : frames_) {
+    bits += static_cast<double>(f.offsets.bit_width()) *
+            static_cast<double>(f.offsets.size());
+  }
+  return bits / static_cast<double>(count_);
+}
+
+}  // namespace casper

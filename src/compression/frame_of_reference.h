@@ -1,0 +1,69 @@
+#ifndef CASPER_COMPRESSION_FRAME_OF_REFERENCE_H_
+#define CASPER_COMPRESSION_FRAME_OF_REFERENCE_H_
+
+#include <vector>
+
+#include "compression/bitpack.h"
+#include "storage/types.h"
+
+namespace casper {
+
+/// Frame-of-reference (delta) compression with per-frame references
+/// (paper §6.2). Frames typically align with partitions — Casper's
+/// fine partitioning of hot ranges shrinks per-frame value ranges, which
+/// directly shrinks the delta bit width: the partitioning/compression
+/// synergy the paper describes ("the more we read a partition the more
+/// compressed it is").
+class FrameOfReferenceColumn {
+ public:
+  /// `frame_sizes` must sum to values.size(); each frame stores min(frame)
+  /// as its reference plus bit-packed offsets.
+  FrameOfReferenceColumn(const std::vector<Value>& values,
+                         const std::vector<size_t>& frame_sizes);
+
+  /// Convenience: fixed frame width.
+  FrameOfReferenceColumn(const std::vector<Value>& values, size_t frame_width);
+
+  size_t size() const;
+  Value Get(size_t i) const;
+
+  /// Count of values in [lo, hi); frames are skipped via their min/max.
+  uint64_t CountRange(Value lo, Value hi) const;
+
+  /// Sum of all values (decompression-free aggregate: sum of references +
+  /// packed offsets).
+  int64_t SumAll() const;
+
+  std::vector<Value> DecodeAll() const;
+
+  size_t CompressedBytes() const;
+  size_t UncompressedBytes() const { return size() * sizeof(Value); }
+  double CompressionRatio() const {
+    return static_cast<double>(UncompressedBytes()) /
+           static_cast<double>(CompressedBytes());
+  }
+
+  /// Mean bits per value across frames (the synergy metric).
+  double MeanBitsPerValue() const;
+
+  size_t num_frames() const { return frames_.size(); }
+  unsigned frame_bit_width(size_t f) const { return frames_[f].offsets.bit_width(); }
+
+ private:
+  struct Frame {
+    Value reference;  // frame minimum
+    Value max;        // frame maximum (zonemap for skipping)
+    size_t begin;     // global position of the first value
+    BitPackedArray offsets;
+  };
+
+  void BuildFrames(const std::vector<Value>& values,
+                   const std::vector<size_t>& frame_sizes);
+
+  std::vector<Frame> frames_;
+  size_t count_ = 0;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_COMPRESSION_FRAME_OF_REFERENCE_H_

@@ -1,0 +1,18 @@
+#include "engine/casper_engine.h"
+
+#include "util/status.h"
+
+namespace casper {
+
+CasperEngine CasperEngine::Open(LayoutBuildOptions options, std::vector<Value> keys,
+                                std::vector<std::vector<Payload>> payload,
+                                const std::vector<Operation>* training) {
+  if (training != nullptr) options.training = training;
+  return CasperEngine(BuildLayout(options, std::move(keys), std::move(payload)));
+}
+
+uint64_t CasperEngine::ScanAll() const {
+  return engine_->CountRange(kMinValue + 1, kMaxValue);
+}
+
+}  // namespace casper

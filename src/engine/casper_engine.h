@@ -1,0 +1,77 @@
+#ifndef CASPER_ENGINE_CASPER_ENGINE_H_
+#define CASPER_ENGINE_CASPER_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "layouts/layout_engine.h"
+#include "layouts/layout_factory.h"
+#include "workload/ops.h"
+
+namespace casper {
+
+/// The Casper storage engine facade — the generic storage-engine API of
+/// paper §6.4: "(i) scanning an entire column (or groups of columns),
+/// (ii) search for a specific value, (iii) search for a specific range of
+/// values, (iv) insert a new entry, and (v) update or delete an existing
+/// entry". A drop-in scan/update operator for a relational engine.
+///
+/// Open() with mode == kCasper requires a training workload sample; the
+/// engine captures its Frequency Model, solves the layout problem per chunk
+/// and materializes the tailored layout (the A -> B -> C pipeline of
+/// paper Fig. 10). Any other mode gives the corresponding baseline layout
+/// over the same data, which is how the paper runs its comparisons.
+class CasperEngine {
+ public:
+  /// Loads `keys` / `payload` (unsorted ok) under the requested layout.
+  /// `training` feeds the optimizer in kCasper mode and is ignored
+  /// otherwise; it may alias the workload later replayed (offline tuning) or
+  /// an approximation of it (robustness experiments).
+  static CasperEngine Open(LayoutBuildOptions options, std::vector<Value> keys,
+                           std::vector<std::vector<Payload>> payload,
+                           const std::vector<Operation>* training = nullptr);
+
+  // (i) Full column scan: returns the number of live rows visited.
+  uint64_t ScanAll() const;
+
+  // (ii) Point search.
+  size_t Find(Value key, std::vector<Payload>* payload = nullptr) const {
+    return engine_->PointLookup(key, payload);
+  }
+
+  // (iii) Range search.
+  uint64_t CountBetween(Value lo, Value hi) const {
+    return engine_->CountRange(lo, hi);
+  }
+  int64_t SumPayloadBetween(Value lo, Value hi, const std::vector<size_t>& cols) const {
+    return engine_->SumPayloadRange(lo, hi, cols);
+  }
+
+  // (iv) Insert.
+  void Insert(Value key, const std::vector<Payload>& payload) {
+    engine_->Insert(key, payload);
+  }
+
+  // (v) Update / delete.
+  bool Update(Value old_key, Value new_key) {
+    return engine_->UpdateKey(old_key, new_key);
+  }
+  size_t Delete(Value key) { return engine_->Delete(key); }
+
+  LayoutMode mode() const { return engine_->mode(); }
+  size_t num_rows() const { return engine_->num_rows(); }
+  LayoutMemoryStats MemoryStats() const { return engine_->MemoryStats(); }
+
+  LayoutEngine& layout() { return *engine_; }
+  const LayoutEngine& layout() const { return *engine_; }
+
+ private:
+  explicit CasperEngine(std::unique_ptr<LayoutEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::unique_ptr<LayoutEngine> engine_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_ENGINE_CASPER_ENGINE_H_

@@ -1,0 +1,85 @@
+#include "engine/harness.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace casper {
+
+HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& ops,
+                          const HarnessOptions& options) {
+  HarnessResult result;
+  result.ops = ops.size();
+  for (auto& rec : result.latency) rec.Reserve(ops.size() / 4 + 1);
+
+  Rng payload_rng(options.payload_seed);
+  const size_t pcols = engine.num_payload_columns();
+  std::vector<Payload> payload(pcols);
+  std::vector<Payload> row_out;
+
+  // Q3 columns clipped to the table's width.
+  std::vector<size_t> q3_cols;
+  for (const size_t c : options.q3_columns) {
+    if (c < pcols) q3_cols.push_back(c);
+  }
+
+  Stopwatch total;
+  Stopwatch per_op;
+  for (const Operation& op : ops) {
+    if (options.record_latency) per_op.Restart();
+    switch (op.kind) {
+      case OpKind::kPointQuery:
+        result.checksum += engine.PointLookup(op.a, &row_out);
+        break;
+      case OpKind::kRangeCount:
+        result.checksum += engine.CountRange(op.a, op.b);
+        break;
+      case OpKind::kRangeSum:
+        result.checksum +=
+            static_cast<uint64_t>(engine.SumPayloadRange(op.a, op.b, q3_cols));
+        break;
+      case OpKind::kInsert:
+        if (options.key_derived_payload) {
+          for (size_t c = 0; c < payload.size(); ++c) {
+            payload[c] = static_cast<Payload>(
+                (static_cast<uint64_t>(op.a < 0 ? -op.a : op.a) * (c + 1)) % 10000);
+          }
+        } else {
+          for (auto& p : payload) p = static_cast<Payload>(payload_rng.Below(10000));
+        }
+        engine.Insert(op.a, payload);
+        break;
+      case OpKind::kDelete:
+        result.checksum += engine.Delete(op.a);
+        break;
+      case OpKind::kUpdate:
+        result.checksum += engine.UpdateKey(op.a, op.b) ? 1 : 0;
+        break;
+    }
+    if (options.record_latency) {
+      result.Rec(op.kind).Record(per_op.ElapsedNanos());
+    }
+  }
+  result.seconds = total.ElapsedSeconds();
+  return result;
+}
+
+HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& ops) {
+  return RunWorkload(engine, ops, HarnessOptions{});
+}
+
+std::string FormatResult(const HarnessResult& r) {
+  std::ostringstream oss;
+  oss << r.ThroughputOpsPerSec() << " ops/s";
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    const auto& rec = r.latency[static_cast<size_t>(k)];
+    if (rec.count() == 0) continue;
+    oss << "  " << OpKindName(static_cast<OpKind>(k)) << "=" << rec.MeanMicros()
+        << "us";
+  }
+  return oss.str();
+}
+
+}  // namespace casper

@@ -1,0 +1,241 @@
+#include "layouts/delta_store.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace casper {
+
+DeltaStoreLayout::DeltaStoreLayout(std::vector<Value> keys,
+                                   std::vector<std::vector<Payload>> payload,
+                                   Options options)
+    : opts_(options),
+      main_keys_(std::move(keys)),
+      main_payload_(std::move(payload)),
+      deleted_(main_keys_.size(), 0),
+      main_live_(main_keys_.size()),
+      delta_payload_(main_payload_.size()) {
+  CASPER_CHECK(std::is_sorted(main_keys_.begin(), main_keys_.end()));
+  for (const auto& col : main_payload_) CASPER_CHECK(col.size() == main_keys_.size());
+}
+
+DeltaStoreLayout::DeltaStoreLayout(std::vector<Value> keys,
+                                   std::vector<std::vector<Payload>> payload)
+    : DeltaStoreLayout(std::move(keys), std::move(payload), Options()) {}
+
+size_t DeltaStoreLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
+  size_t count = 0;
+  size_t first_main = main_keys_.size();
+  const auto [lo, hi] = std::equal_range(main_keys_.begin(), main_keys_.end(), key);
+  for (auto it = lo; it != hi; ++it) {
+    const size_t i = static_cast<size_t>(it - main_keys_.begin());
+    if (!deleted_[i]) {
+      if (count == 0) first_main = i;
+      ++count;
+    }
+  }
+  size_t first_delta = delta_keys_.size();
+  for (size_t i = 0; i < delta_keys_.size(); ++i) {
+    if (delta_keys_[i] == key) {
+      if (first_delta == delta_keys_.size()) first_delta = i;
+      ++count;
+    }
+  }
+  if (payload != nullptr) {
+    payload->clear();
+    if (first_main < main_keys_.size()) {
+      for (const auto& col : main_payload_) payload->push_back(col[first_main]);
+    } else if (first_delta < delta_keys_.size()) {
+      for (const auto& col : delta_payload_) payload->push_back(col[first_delta]);
+    }
+  }
+  return count;
+}
+
+uint64_t DeltaStoreLayout::CountRange(Value lo, Value hi) const {
+  const size_t first =
+      static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
+                          main_keys_.begin());
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
+                       main_keys_.end(), hi) -
+      main_keys_.begin());
+  uint64_t count = 0;
+  for (size_t i = first; i < last; ++i) count += !deleted_[i];
+  for (const Value k : delta_keys_) count += (k >= lo && k < hi);
+  return count;
+}
+
+int64_t DeltaStoreLayout::SumPayloadRange(Value lo, Value hi,
+                                          const std::vector<size_t>& cols) const {
+  const size_t first =
+      static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
+                          main_keys_.begin());
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
+                       main_keys_.end(), hi) -
+      main_keys_.begin());
+  int64_t sum = 0;
+  for (size_t i = first; i < last; ++i) {
+    if (!deleted_[i]) {
+      for (const size_t c : cols) sum += main_payload_[c][i];
+    }
+  }
+  for (size_t i = 0; i < delta_keys_.size(); ++i) {
+    if (delta_keys_[i] >= lo && delta_keys_[i] < hi) {
+      for (const size_t c : cols) sum += delta_payload_[c][i];
+    }
+  }
+  return sum;
+}
+
+int64_t DeltaStoreLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                                 Payload qty_max) const {
+  if (main_payload_.size() < 3) return 0;
+  const size_t first =
+      static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
+                          main_keys_.begin());
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
+                       main_keys_.end(), hi) -
+      main_keys_.begin());
+  int64_t sum = 0;
+  const auto& mq = main_payload_[0];
+  const auto& md = main_payload_[1];
+  const auto& mp = main_payload_[2];
+  for (size_t i = first; i < last; ++i) {
+    if (!deleted_[i] && md[i] >= disc_lo && md[i] <= disc_hi && mq[i] < qty_max) {
+      sum += static_cast<int64_t>(mp[i]) * md[i];
+    }
+  }
+  const auto& dq = delta_payload_[0];
+  const auto& dd = delta_payload_[1];
+  const auto& dp = delta_payload_[2];
+  for (size_t i = 0; i < delta_keys_.size(); ++i) {
+    if (delta_keys_[i] >= lo && delta_keys_[i] < hi && dd[i] >= disc_lo &&
+        dd[i] <= disc_hi && dq[i] < qty_max) {
+      sum += static_cast<int64_t>(dp[i]) * dd[i];
+    }
+  }
+  return sum;
+}
+
+void DeltaStoreLayout::Insert(Value key, const std::vector<Payload>& payload) {
+  CASPER_CHECK(payload.size() == main_payload_.size());
+  delta_keys_.push_back(key);
+  for (size_t c = 0; c < payload.size(); ++c) delta_payload_[c].push_back(payload[c]);
+  MaybeMerge();
+}
+
+size_t DeltaStoreLayout::Delete(Value key) {
+  // Prefer the delta (cheap swap-remove), then tombstone the main store.
+  for (size_t i = 0; i < delta_keys_.size(); ++i) {
+    if (delta_keys_[i] == key) {
+      delta_keys_[i] = delta_keys_.back();
+      delta_keys_.pop_back();
+      for (auto& col : delta_payload_) {
+        col[i] = col.back();
+        col.pop_back();
+      }
+      return 1;
+    }
+  }
+  const auto [lo, hi] = std::equal_range(main_keys_.begin(), main_keys_.end(), key);
+  for (auto it = lo; it != hi; ++it) {
+    const size_t i = static_cast<size_t>(it - main_keys_.begin());
+    if (!deleted_[i]) {
+      deleted_[i] = 1;
+      --main_live_;
+      return 1;
+    }
+  }
+  return 0;
+}
+
+bool DeltaStoreLayout::UpdateKey(Value old_key, Value new_key) {
+  // Classic delta-store update: delete + re-insert (paper §3 "Updates").
+  std::vector<Payload> row;
+  if (PointLookup(old_key, &row) == 0) return false;
+  Delete(old_key);
+  Insert(new_key, row);
+  return true;
+}
+
+size_t DeltaStoreLayout::num_rows() const { return main_live_ + delta_keys_.size(); }
+
+void DeltaStoreLayout::MaybeMerge() {
+  const size_t threshold =
+      std::max(opts_.min_merge_rows,
+               static_cast<size_t>(opts_.merge_fraction *
+                                   static_cast<double>(main_keys_.size())));
+  if (delta_keys_.size() >= threshold) Merge();
+}
+
+void DeltaStoreLayout::Merge() {
+  // Sort the delta (with payload permutation), then merge with the live part
+  // of the main store.
+  std::vector<size_t> order(delta_keys_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return delta_keys_[a] < delta_keys_[b]; });
+
+  std::vector<Value> merged_keys;
+  merged_keys.reserve(main_live_ + delta_keys_.size());
+  std::vector<std::vector<Payload>> merged_payload(main_payload_.size());
+  for (auto& col : merged_payload) col.reserve(main_live_ + delta_keys_.size());
+
+  size_t mi = 0;
+  size_t di = 0;
+  while (mi < main_keys_.size() || di < order.size()) {
+    while (mi < main_keys_.size() && deleted_[mi]) ++mi;
+    const bool take_main =
+        mi < main_keys_.size() &&
+        (di >= order.size() || main_keys_[mi] <= delta_keys_[order[di]]);
+    if (take_main) {
+      merged_keys.push_back(main_keys_[mi]);
+      for (size_t c = 0; c < main_payload_.size(); ++c) {
+        merged_payload[c].push_back(main_payload_[c][mi]);
+      }
+      ++mi;
+    } else if (di < order.size()) {
+      const size_t row = order[di];
+      merged_keys.push_back(delta_keys_[row]);
+      for (size_t c = 0; c < main_payload_.size(); ++c) {
+        merged_payload[c].push_back(delta_payload_[c][row]);
+      }
+      ++di;
+    } else {
+      break;
+    }
+  }
+
+  main_keys_ = std::move(merged_keys);
+  main_payload_ = std::move(merged_payload);
+  deleted_.assign(main_keys_.size(), 0);
+  main_live_ = main_keys_.size();
+  delta_keys_.clear();
+  for (auto& col : delta_payload_) col.clear();
+  ++merges_;
+}
+
+LayoutMemoryStats DeltaStoreLayout::MemoryStats() const {
+  LayoutMemoryStats s;
+  const size_t row_bytes = sizeof(Value) + main_payload_.size() * sizeof(Payload);
+  s.data_bytes = num_rows() * row_bytes;
+  s.total_bytes = (main_keys_.size() + delta_keys_.size()) * row_bytes +
+                  deleted_.size() * sizeof(uint8_t);
+  return s;
+}
+
+void DeltaStoreLayout::ValidateInvariants() const {
+  CASPER_CHECK(std::is_sorted(main_keys_.begin(), main_keys_.end()));
+  CASPER_CHECK(deleted_.size() == main_keys_.size());
+  size_t live = 0;
+  for (const uint8_t d : deleted_) live += (d == 0);
+  CASPER_CHECK(live == main_live_);
+  for (const auto& col : main_payload_) CASPER_CHECK(col.size() == main_keys_.size());
+  for (const auto& col : delta_payload_) CASPER_CHECK(col.size() == delta_keys_.size());
+}
+
+}  // namespace casper

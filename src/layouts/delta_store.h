@@ -1,0 +1,72 @@
+#ifndef CASPER_LAYOUTS_DELTA_STORE_H_
+#define CASPER_LAYOUTS_DELTA_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layouts/layout_engine.h"
+
+namespace casper {
+
+/// State-of-the-art update-aware columnar layout (paper's "State-of-art"
+/// mode): a sorted read-optimized main store plus an unsorted delta buffer
+/// for incoming writes, periodically merged back (the C-Store / Vertica
+/// write-store design [78, 48]). Deletes on the main store are positional
+/// tombstones (a delete bitmap, cf. positional update handling [38]); the
+/// merge compacts them away.
+class DeltaStoreLayout final : public LayoutEngine {
+ public:
+  struct Options {
+    /// Merge when delta size exceeds this fraction of the main store.
+    double merge_fraction = 0.002;
+    /// Lower bound on the merge trigger (avoids merge storms on tiny data).
+    size_t min_merge_rows = 4096;
+  };
+
+  /// `keys` must be sorted; payload columns aligned.
+  DeltaStoreLayout(std::vector<Value> keys, std::vector<std::vector<Payload>> payload,
+                   Options options);
+  DeltaStoreLayout(std::vector<Value> keys, std::vector<std::vector<Payload>> payload);
+
+  LayoutMode mode() const override { return LayoutMode::kDeltaStore; }
+
+  size_t PointLookup(Value key, std::vector<Payload>* payload) const override;
+  uint64_t CountRange(Value lo, Value hi) const override;
+  int64_t SumPayloadRange(Value lo, Value hi,
+                          const std::vector<size_t>& cols) const override;
+  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                 Payload qty_max) const override;
+  void Insert(Value key, const std::vector<Payload>& payload) override;
+  size_t Delete(Value key) override;
+  bool UpdateKey(Value old_key, Value new_key) override;
+
+  size_t num_rows() const override;
+  size_t num_payload_columns() const override { return main_payload_.size(); }
+  LayoutMemoryStats MemoryStats() const override;
+  void ValidateInvariants() const override;
+
+  /// Merges performed so far (delta integrations back into the main store).
+  uint64_t merge_count() const { return merges_; }
+  size_t delta_size() const { return delta_keys_.size(); }
+
+  /// Force a merge now (also used internally when the delta fills up).
+  void Merge();
+
+ private:
+  void MaybeMerge();
+
+  Options opts_;
+  // Main store: sorted, with a positional delete bitmap.
+  std::vector<Value> main_keys_;
+  std::vector<std::vector<Payload>> main_payload_;
+  std::vector<uint8_t> deleted_;
+  size_t main_live_ = 0;
+  // Delta store: unsorted appends.
+  std::vector<Value> delta_keys_;
+  std::vector<std::vector<Payload>> delta_payload_;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_LAYOUTS_DELTA_STORE_H_

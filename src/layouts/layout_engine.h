@@ -1,0 +1,83 @@
+#ifndef CASPER_LAYOUTS_LAYOUT_ENGINE_H_
+#define CASPER_LAYOUTS_LAYOUT_ENGINE_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace casper {
+
+/// The six operation modes evaluated in the paper (§7, Fig. 12):
+enum class LayoutMode {
+  kNoOrder,        ///< plain column-store, insertion order, no write opt.
+  kSorted,         ///< fully sorted leading column
+  kDeltaStore,     ///< sorted main + delta buffer (state of the art)
+  kEquiWidth,      ///< range-partitioned, equal-width partitions
+  kEquiWidthGhost, ///< equal-width partitions + evenly spread ghost values
+  kCasper,         ///< workload-tailored partitions + Eq. 18 ghost values
+};
+
+std::string_view LayoutModeName(LayoutMode mode);
+
+/// Memory-amplification report (paper's three-way tradeoff).
+struct LayoutMemoryStats {
+  size_t data_bytes = 0;   ///< live rows
+  size_t total_bytes = 0;  ///< including ghost slots / delta buffers
+
+  double Amplification() const {
+    return data_bytes == 0 ? 1.0
+                           : static_cast<double>(total_bytes) /
+                                 static_cast<double>(data_bytes);
+  }
+};
+
+/// Storage-engine access-path interface shared by every layout — the
+/// "physical benchmark" surface of the HAP benchmark (paper §7.1). All
+/// layouts store the same logical table: key column a0 plus payload columns.
+class LayoutEngine {
+ public:
+  virtual ~LayoutEngine() = default;
+
+  virtual LayoutMode mode() const = 0;
+  std::string_view name() const { return LayoutModeName(mode()); }
+
+  /// Q1: SELECT a1..ak WHERE a0 = key. Returns match count; fills
+  /// `payload` (may be nullptr) with the first match's payload columns.
+  virtual size_t PointLookup(Value key, std::vector<Payload>* payload) const = 0;
+
+  /// Q2: SELECT count(*) WHERE a0 in [lo, hi).
+  virtual uint64_t CountRange(Value lo, Value hi) const = 0;
+
+  /// Q3: SELECT sum(a_{c1} + a_{c2} + ...) WHERE a0 in [lo, hi).
+  virtual int64_t SumPayloadRange(Value lo, Value hi,
+                                  const std::vector<size_t>& cols) const = 0;
+
+  /// TPC-H Q6 shape: SELECT sum(price * discount) WHERE a0 (shipdate) in
+  /// [lo, hi) AND discount in [disc_lo, disc_hi] AND quantity < qty_max.
+  /// Columns: 0 = quantity, 1 = discount, 2 = extended price (by convention
+  /// of the TPC-H-like workload; tables with fewer columns may return 0).
+  virtual int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                         Payload qty_max) const = 0;
+
+  /// Q4: INSERT.
+  virtual void Insert(Value key, const std::vector<Payload>& payload) = 0;
+
+  /// Q5: DELETE one row WHERE a0 = key. Returns rows deleted.
+  virtual size_t Delete(Value key) = 0;
+
+  /// Q6: UPDATE a0 = new_key WHERE a0 = old_key (one row).
+  virtual bool UpdateKey(Value old_key, Value new_key) = 0;
+
+  virtual size_t num_rows() const = 0;
+  virtual size_t num_payload_columns() const = 0;
+  virtual LayoutMemoryStats MemoryStats() const = 0;
+
+  /// Structural self-check (test hook); default no-op.
+  virtual void ValidateInvariants() const {}
+};
+
+}  // namespace casper
+
+#endif  // CASPER_LAYOUTS_LAYOUT_ENGINE_H_

@@ -1,0 +1,108 @@
+#include "layouts/no_order.h"
+
+#include "util/status.h"
+
+namespace casper {
+
+NoOrderLayout::NoOrderLayout(std::vector<Value> keys,
+                             std::vector<std::vector<Payload>> payload)
+    : keys_(std::move(keys)), payload_(std::move(payload)) {
+  for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
+}
+
+size_t NoOrderLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
+  size_t count = 0;
+  size_t first = keys_.size();
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      if (count == 0) first = i;
+      ++count;
+    }
+  }
+  if (payload != nullptr) {
+    payload->clear();
+    if (count > 0) {
+      payload->reserve(payload_.size());
+      for (const auto& col : payload_) payload->push_back(col[first]);
+    }
+  }
+  return count;
+}
+
+uint64_t NoOrderLayout::CountRange(Value lo, Value hi) const {
+  uint64_t count = 0;
+  for (const Value k : keys_) count += (k >= lo && k < hi);
+  return count;
+}
+
+int64_t NoOrderLayout::SumPayloadRange(Value lo, Value hi,
+                                       const std::vector<size_t>& cols) const {
+  int64_t sum = 0;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] >= lo && keys_[i] < hi) {
+      for (const size_t c : cols) sum += payload_[c][i];
+    }
+  }
+  return sum;
+}
+
+int64_t NoOrderLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                              Payload qty_max) const {
+  if (payload_.size() < 3) return 0;
+  const auto& qty = payload_[0];
+  const auto& disc = payload_[1];
+  const auto& price = payload_[2];
+  int64_t sum = 0;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] >= lo && keys_[i] < hi && disc[i] >= disc_lo && disc[i] <= disc_hi &&
+        qty[i] < qty_max) {
+      sum += static_cast<int64_t>(price[i]) * disc[i];
+    }
+  }
+  return sum;
+}
+
+void NoOrderLayout::Insert(Value key, const std::vector<Payload>& payload) {
+  CASPER_CHECK(payload.size() == payload_.size());
+  keys_.push_back(key);
+  for (size_t c = 0; c < payload_.size(); ++c) payload_[c].push_back(payload[c]);
+}
+
+size_t NoOrderLayout::Delete(Value key) {
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      keys_[i] = keys_.back();
+      keys_.pop_back();
+      for (auto& col : payload_) {
+        col[i] = col.back();
+        col.pop_back();
+      }
+      return 1;
+    }
+  }
+  return 0;
+}
+
+bool NoOrderLayout::UpdateKey(Value old_key, Value new_key) {
+  for (auto& k : keys_) {
+    if (k == old_key) {
+      k = new_key;  // in-place update: the luxury of an unordered layout
+      return true;
+    }
+  }
+  return false;
+}
+
+LayoutMemoryStats NoOrderLayout::MemoryStats() const {
+  LayoutMemoryStats s;
+  s.data_bytes = keys_.size() * sizeof(Value) +
+                 payload_.size() * keys_.size() * sizeof(Payload);
+  s.total_bytes = s.data_bytes;
+  return s;
+}
+
+void NoOrderLayout::ValidateInvariants() const {
+  for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
+}
+
+}  // namespace casper

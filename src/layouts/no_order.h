@@ -1,0 +1,42 @@
+#ifndef CASPER_LAYOUTS_NO_ORDER_H_
+#define CASPER_LAYOUTS_NO_ORDER_H_
+
+#include <vector>
+
+#include "layouts/layout_engine.h"
+
+namespace casper {
+
+/// Vanilla column-store: fixed-width arrays in insertion order, no write
+/// optimizations (paper Fig. 1 "baseline", Table 1 row (a)/(a)/(a)).
+/// Every read is a full scan; inserts append; deletes swap-remove; updates
+/// are applied in place.
+class NoOrderLayout final : public LayoutEngine {
+ public:
+  NoOrderLayout(std::vector<Value> keys, std::vector<std::vector<Payload>> payload);
+
+  LayoutMode mode() const override { return LayoutMode::kNoOrder; }
+
+  size_t PointLookup(Value key, std::vector<Payload>* payload) const override;
+  uint64_t CountRange(Value lo, Value hi) const override;
+  int64_t SumPayloadRange(Value lo, Value hi,
+                          const std::vector<size_t>& cols) const override;
+  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                 Payload qty_max) const override;
+  void Insert(Value key, const std::vector<Payload>& payload) override;
+  size_t Delete(Value key) override;
+  bool UpdateKey(Value old_key, Value new_key) override;
+
+  size_t num_rows() const override { return keys_.size(); }
+  size_t num_payload_columns() const override { return payload_.size(); }
+  LayoutMemoryStats MemoryStats() const override;
+  void ValidateInvariants() const override;
+
+ private:
+  std::vector<Value> keys_;
+  std::vector<std::vector<Payload>> payload_;  // [col][row]
+};
+
+}  // namespace casper
+
+#endif  // CASPER_LAYOUTS_NO_ORDER_H_

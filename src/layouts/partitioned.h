@@ -1,0 +1,69 @@
+#ifndef CASPER_LAYOUTS_PARTITIONED_H_
+#define CASPER_LAYOUTS_PARTITIONED_H_
+
+#include <vector>
+
+#include "layouts/layout_engine.h"
+#include "storage/table.h"
+
+namespace casper {
+
+/// Range-partitioned layout family: equi-width partitioning, equi-width with
+/// ghost values, and Casper's workload-tailored layout all share this
+/// engine — they differ only in the ChunkLayoutSpecs the factory feeds the
+/// underlying PartitionedTable (paper §7: "Casper integrates all tested
+/// column layout strategies").
+class PartitionedLayout final : public LayoutEngine {
+ public:
+  PartitionedLayout(LayoutMode mode, PartitionedTable table)
+      : mode_(mode), table_(std::move(table)) {}
+
+  LayoutMode mode() const override { return mode_; }
+
+  size_t PointLookup(Value key, std::vector<Payload>* payload) const override {
+    return table_.PointLookup(key, payload);
+  }
+  uint64_t CountRange(Value lo, Value hi) const override {
+    return table_.CountRange(lo, hi);
+  }
+  int64_t SumPayloadRange(Value lo, Value hi,
+                          const std::vector<size_t>& cols) const override {
+    return table_.SumPayloadRange(lo, hi, cols);
+  }
+  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                 Payload qty_max) const override {
+    return table_.TpchQ6(lo, hi, disc_lo, disc_hi, qty_max);
+  }
+  void Insert(Value key, const std::vector<Payload>& payload) override {
+    table_.Insert(key, payload);
+  }
+  size_t Delete(Value key) override { return table_.Delete(key); }
+  bool UpdateKey(Value old_key, Value new_key) override {
+    return table_.UpdateKey(old_key, new_key);
+  }
+
+  size_t num_rows() const override { return table_.num_rows(); }
+  size_t num_payload_columns() const override {
+    return table_.num_payload_columns();
+  }
+  LayoutMemoryStats MemoryStats() const override {
+    LayoutMemoryStats s;
+    const size_t row_bytes =
+        sizeof(Value) + table_.num_payload_columns() * sizeof(Payload);
+    s.data_bytes = table_.num_rows() * row_bytes;
+    s.total_bytes = table_.MemoryBytes();
+    return s;
+  }
+  void ValidateInvariants() const override { table_.ValidateInvariants(); }
+
+  const PartitionedTable& table() const { return table_; }
+  PartitionedTable& mutable_table() { return table_; }
+
+ private:
+  LayoutMode mode_;
+  PartitionedTable table_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_LAYOUTS_PARTITIONED_H_

@@ -1,0 +1,116 @@
+#include "layouts/sorted.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace casper {
+
+SortedLayout::SortedLayout(std::vector<Value> keys,
+                           std::vector<std::vector<Payload>> payload)
+    : keys_(std::move(keys)), payload_(std::move(payload)) {
+  CASPER_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
+  for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
+}
+
+size_t SortedLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
+  const auto [first, last] = std::equal_range(keys_.begin(), keys_.end(), key);
+  const size_t count = static_cast<size_t>(last - first);
+  if (payload != nullptr) {
+    payload->clear();
+    if (count > 0) {
+      const size_t i = static_cast<size_t>(first - keys_.begin());
+      for (const auto& col : payload_) payload->push_back(col[i]);
+    }
+  }
+  return count;
+}
+
+uint64_t SortedLayout::CountRange(Value lo, Value hi) const {
+  const auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  const auto last = std::lower_bound(first, keys_.end(), hi);
+  return static_cast<uint64_t>(last - first);
+}
+
+int64_t SortedLayout::SumPayloadRange(Value lo, Value hi,
+                                      const std::vector<size_t>& cols) const {
+  const size_t first =
+      static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), lo) -
+                          keys_.begin());
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(first), keys_.end(), hi) -
+      keys_.begin());
+  int64_t sum = 0;
+  for (const size_t c : cols) {
+    const auto& col = payload_[c];
+    for (size_t i = first; i < last; ++i) sum += col[i];
+  }
+  return sum;
+}
+
+int64_t SortedLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                             Payload qty_max) const {
+  if (payload_.size() < 3) return 0;
+  const size_t first =
+      static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), lo) -
+                          keys_.begin());
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(first), keys_.end(), hi) -
+      keys_.begin());
+  const auto& qty = payload_[0];
+  const auto& disc = payload_[1];
+  const auto& price = payload_[2];
+  int64_t sum = 0;
+  for (size_t i = first; i < last; ++i) {
+    if (disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_max) {
+      sum += static_cast<int64_t>(price[i]) * disc[i];
+    }
+  }
+  return sum;
+}
+
+void SortedLayout::Insert(Value key, const std::vector<Payload>& payload) {
+  CASPER_CHECK(payload.size() == payload_.size());
+  const size_t pos = static_cast<size_t>(
+      std::upper_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(pos), key);
+  for (size_t c = 0; c < payload_.size(); ++c) {
+    payload_[c].insert(payload_[c].begin() + static_cast<ptrdiff_t>(pos), payload[c]);
+  }
+}
+
+size_t SortedLayout::Delete(Value key) {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return 0;
+  const size_t pos = static_cast<size_t>(it - keys_.begin());
+  keys_.erase(it);
+  for (auto& col : payload_) col.erase(col.begin() + static_cast<ptrdiff_t>(pos));
+  return 1;
+}
+
+bool SortedLayout::UpdateKey(Value old_key, Value new_key) {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), old_key);
+  if (it == keys_.end() || *it != old_key) return false;
+  const size_t pos = static_cast<size_t>(it - keys_.begin());
+  std::vector<Payload> row(payload_.size());
+  for (size_t c = 0; c < payload_.size(); ++c) row[c] = payload_[c][pos];
+  keys_.erase(it);
+  for (auto& col : payload_) col.erase(col.begin() + static_cast<ptrdiff_t>(pos));
+  Insert(new_key, row);
+  return true;
+}
+
+LayoutMemoryStats SortedLayout::MemoryStats() const {
+  LayoutMemoryStats s;
+  s.data_bytes = keys_.size() * sizeof(Value) +
+                 payload_.size() * keys_.size() * sizeof(Payload);
+  s.total_bytes = s.data_bytes;
+  return s;
+}
+
+void SortedLayout::ValidateInvariants() const {
+  CASPER_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
+  for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
+}
+
+}  // namespace casper

@@ -1,0 +1,101 @@
+#include "model/learned_fm.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace casper {
+
+namespace {
+
+/// Fraction of the unit key domain covered by keys < k.
+double UnitOf(const WorkloadSpec& spec, Value k) {
+  const double span = static_cast<double>(spec.domain_hi - spec.domain_lo);
+  const double u = static_cast<double>(k - spec.domain_lo) / span;
+  return std::clamp(u, 0.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<FrequencyModel> LearnFrequencyModels(
+    const std::vector<Value>& sorted_keys, const std::vector<size_t>& chunk_rows,
+    size_t block_values, const WorkloadSpec& spec, double total_ops) {
+  CASPER_CHECK(!sorted_keys.empty());
+  CASPER_CHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  CASPER_CHECK(block_values > 0 && total_ops >= 0);
+
+  const double n_pq = total_ops * spec.mix.point_query;
+  const double n_rq = total_ops * (spec.mix.range_count + spec.mix.range_sum);
+  const double n_in = total_ops * spec.mix.insert;
+  const double n_de = total_ops * spec.mix.del;
+  const double n_ud = total_ops * spec.mix.update;
+  const double sel = spec.range_selectivity;
+
+  const Distribution& read = *spec.read_target;
+  const Distribution& write = *spec.write_target;
+  const Distribution& upd = *spec.update_target;
+
+  std::vector<FrequencyModel> models;
+  size_t offset = 0;
+  // Cumulative update-source mass below each processed block, for utf/utb.
+  double upd_cdf_running = 0.0;
+  (void)upd_cdf_running;
+
+  for (const size_t rows : chunk_rows) {
+    CASPER_CHECK(rows > 0 && offset + rows <= sorted_keys.size());
+    const size_t blocks = (rows + block_values - 1) / block_values;
+    FrequencyModel fm(blocks);
+
+    for (size_t b = 0; b < blocks; ++b) {
+      const size_t p0 = offset + b * block_values;
+      const size_t p1 = std::min(offset + rows, p0 + block_values) - 1;
+      // The block's slice of the unit key domain. The last block of the
+      // dataset absorbs the tail above the largest key.
+      const double u0 = UnitOf(spec, sorted_keys[p0]);
+      const double u1 = (p1 + 1 < sorted_keys.size())
+                            ? UnitOf(spec, sorted_keys[p1 + 1])
+                            : 1.0;
+      const double um = 0.5 * (u0 + u1);
+
+      const double read_mass = read.Cdf(u1) - read.Cdf(u0);
+      const double write_mass = write.Cdf(u1) - write.Cdf(u0);
+      const double upd_mass = upd.Cdf(u1) - upd.Cdf(u0);
+
+      fm.mutable_pq()[b] += n_pq * read_mass;
+      // Range start lands in this block with the read distribution; the end
+      // lands `sel` later; the block is fully covered when the start falls
+      // in (u1 - sel, u0).
+      fm.mutable_rs()[b] += n_rq * read_mass;
+      fm.mutable_re()[b] += n_rq * (read.Cdf(u1 - sel < 0 ? 0 : u1 - sel) -
+                                    read.Cdf(u0 - sel < 0 ? 0 : u0 - sel));
+      const double covered = read.Cdf(u0) - read.Cdf(std::max(0.0, u1 - sel));
+      if (covered > 0) fm.mutable_sc()[b] += n_rq * covered;
+
+      fm.mutable_in()[b] += n_in * write_mass;
+      fm.mutable_de()[b] += n_de * write_mass;
+
+      // Updates: old key from `upd`, new key uniform; forward iff new > old.
+      const double p_forward = 1.0 - um;
+      fm.mutable_udf()[b] += n_ud * upd_mass * p_forward;
+      fm.mutable_udb()[b] += n_ud * upd_mass * (1.0 - p_forward);
+      // New keys are uniform over the domain: the block receives mass
+      // proportional to its domain share, split by the probability the old
+      // key was below (forward target) or above (backward target).
+      const double unit_width = std::max(0.0, u1 - u0);
+      fm.mutable_utf()[b] += n_ud * unit_width * upd.Cdf(u0);
+      fm.mutable_utb()[b] += n_ud * unit_width * (1.0 - upd.Cdf(u1));
+    }
+    models.push_back(std::move(fm));
+    offset += rows;
+  }
+  return models;
+}
+
+FrequencyModel LearnFrequencyModel(const std::vector<Value>& sorted_keys,
+                                   size_t block_values, const WorkloadSpec& spec,
+                                   double total_ops) {
+  return LearnFrequencyModels(sorted_keys, {sorted_keys.size()}, block_values, spec,
+                              total_ops)[0];
+}
+
+}  // namespace casper

@@ -1,0 +1,40 @@
+#ifndef CASPER_MODEL_LEARNED_FM_H_
+#define CASPER_MODEL_LEARNED_FM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/frequency_model.h"
+#include "storage/types.h"
+#include "workload/generator.h"
+
+namespace casper {
+
+/// Builds per-chunk Frequency Models from *statistical* workload knowledge —
+/// paper §4.3 / Fig. 8b: "having estimated the distribution of the access
+/// pattern of each operation as well as the data distribution, we can
+/// efficiently construct a histogram with variable number of buckets".
+///
+/// For each logical block, each operation class contributes its analytic
+/// probability mass (CDF differences of the access distribution over the
+/// block's share of the key domain) scaled by the expected operation count,
+/// instead of counting a drawn sample. Range queries place rs/re mass at the
+/// start/end distributions and sc mass where a range fully covers the block;
+/// updates split into forward/backward by the probability that the
+/// (uniform) new key exceeds the old one.
+///
+/// `sorted_keys` supplies the data distribution (block -> key range);
+/// `total_ops` scales the mix into expected counts. The result plugs into
+/// the same LayoutPlanner as sample-captured models.
+std::vector<FrequencyModel> LearnFrequencyModels(
+    const std::vector<Value>& sorted_keys, const std::vector<size_t>& chunk_rows,
+    size_t block_values, const WorkloadSpec& spec, double total_ops);
+
+/// Single-chunk convenience.
+FrequencyModel LearnFrequencyModel(const std::vector<Value>& sorted_keys,
+                                   size_t block_values, const WorkloadSpec& spec,
+                                   double total_ops);
+
+}  // namespace casper
+
+#endif  // CASPER_MODEL_LEARNED_FM_H_

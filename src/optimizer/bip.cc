@@ -1,0 +1,143 @@
+#include "optimizer/bip.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace casper {
+
+BipFormulation::BipFormulation(const CostTerms& terms, const SolverOptions& opts)
+    : terms_(terms), opts_(opts) {}
+
+size_t BipFormulation::NumVariables() const {
+  const size_t n = terms_.num_blocks();
+  // p_0..p_{N-1} plus y_{i,j} for i <= j (upper triangle incl. diagonal).
+  return n + n * (n + 1) / 2;
+}
+
+size_t BipFormulation::NumConstraints() const {
+  const size_t n = terms_.num_blocks();
+  const size_t linking = n /*y_ii*/ + n * (n - 1) / 2 * 2 /*<= and >= rows*/;
+  size_t sla = 0;
+  if (opts_.max_partitions > 0) sla += 1;
+  if (opts_.max_partition_blocks > 0 && n > opts_.max_partition_blocks) {
+    sla += n - opts_.max_partition_blocks + 1;
+  }
+  return linking + 1 /*p_{N-1}=1*/ + sla;
+}
+
+double BipFormulation::Objective(const Partitioning& p) const {
+  // y variables at their implied values make Eq. 20 identical to Eq. 16's
+  // literal form, which EvaluateLayoutCostLiteral computes.
+  return EvaluateLayoutCostLiteral(terms_, p);
+}
+
+bool BipFormulation::Feasible(const Partitioning& p) const {
+  if (!p.IsBoundary(p.num_blocks() - 1)) return false;
+  if (opts_.max_partitions > 0 && p.NumPartitions() > opts_.max_partitions)
+    return false;
+  if (opts_.max_partition_blocks > 0 &&
+      p.MaxPartitionWidth() > opts_.max_partition_blocks)
+    return false;
+  return true;
+}
+
+std::string BipFormulation::ToLpFormat() const {
+  const size_t n = terms_.num_blocks();
+  std::ostringstream lp;
+  lp << "\\ Casper column-layout BIP (paper Eq. 20/21), " << n << " blocks\n";
+  lp << "Minimize\n obj:";
+  // fixed terms are constants; fold the linear coefficients:
+  //   bck_term_i * sum_{j<i} y_{j,i-1}  -> coefficient bck[i] on y_{j,i-1}
+  //   fwd_term_i * sum_j y_{i,N-j-1}    -> coefficient fwd[i] on y_{i,m}, m>=i
+  //   parts_term_i * sum_{j>=i} p_j     -> coefficient (prefix parts) on p_j
+  std::vector<std::vector<double>> ycoef(n, std::vector<double>(n, 0.0));
+  std::vector<double> pcoef(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) ycoef[j][i - 1] += terms_.bck[i];
+    for (size_t m = i; m < n; ++m) ycoef[i][m] += terms_.fwd[i];
+  }
+  double run = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    run += terms_.parts[j];
+    pcoef[j] = run;  // p_j collects sum_{i<=j} parts_i
+  }
+  bool first = true;
+  for (size_t j = 0; j < n; ++j) {
+    if (pcoef[j] == 0.0) continue;
+    lp << (pcoef[j] >= 0 && !first ? " +" : " ") << pcoef[j] << " p" << j;
+    first = false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      if (ycoef[i][j] == 0.0) continue;
+      lp << (ycoef[i][j] >= 0 && !first ? " +" : " ") << ycoef[i][j] << " y" << i << "_"
+         << j;
+      first = false;
+    }
+  }
+  lp << "\nSubject To\n";
+  lp << " mand: p" << (n - 1) << " = 1\n";
+  for (size_t i = 0; i < n; ++i) {
+    lp << " diag" << i << ": y" << i << "_" << i << " + p" << i << " = 1\n";
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      lp << " ub" << i << "_" << j << ": y" << i << "_" << j << " + p" << j
+         << " <= 1\n";
+      lp << " lb" << i << "_" << j << ": y" << i << "_" << j;
+      for (size_t k = i; k <= j; ++k) lp << " + p" << k;
+      lp << " >= 1\n";
+    }
+  }
+  if (opts_.max_partitions > 0) {
+    lp << " updsla:";
+    for (size_t i = 0; i < n; ++i) lp << (i ? " + p" : " p") << i;
+    lp << " <= " << opts_.max_partitions << "\n";
+  }
+  if (opts_.max_partition_blocks > 0 && n > opts_.max_partition_blocks) {
+    const size_t mps = opts_.max_partition_blocks;
+    for (size_t j = 0; j + mps <= n; ++j) {
+      lp << " rdsla" << j << ":";
+      for (size_t i = 0; i < mps; ++i) lp << (i ? " + p" : " p") << (j + i);
+      lp << " >= 1\n";
+    }
+  }
+  lp << "Binary\n";
+  for (size_t i = 0; i < n; ++i) lp << " p" << i << "\n";
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i; j < n; ++j) lp << " y" << i << "_" << j << "\n";
+  lp << "End\n";
+  return lp.str();
+}
+
+SolveResult SolveExhaustive(const CostTerms& terms, const SolverOptions& opts) {
+  const size_t n = terms.num_blocks();
+  CASPER_CHECK_MSG(n <= 22, "exhaustive solver limited to 22 blocks");
+  Stopwatch sw;
+  BipFormulation bip(terms, opts);
+  SolveResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const uint64_t masks = uint64_t{1} << (n - 1);
+  for (uint64_t mask = 0; mask < masks; ++mask) {
+    std::vector<uint8_t> bits(n, 0);
+    for (size_t i = 0; i + 1 < n; ++i) bits[i] = (mask >> i) & 1;
+    bits[n - 1] = 1;
+    Partitioning p = Partitioning::FromBoundaryBits(std::move(bits));
+    if (!bip.Feasible(p)) continue;
+    const double cost = EvaluateLayoutCost(terms, p);
+    ++best.stats.transitions;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.partitioning = p;
+    }
+  }
+  CASPER_CHECK_MSG(std::isfinite(best.cost), "no feasible layout exists");
+  best.stats.solve_seconds = sw.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace casper

@@ -1,0 +1,220 @@
+#include "optimizer/dp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace casper {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Prefix-sum machinery for O(1) interval weights.
+///   W(a, b) = sum_{i=a..b} bck[i] * (i - a) + fwd[i] * (b - i)
+/// is the read overhead of making [a..b] one partition; PPS(b) is the
+/// boundary weight (prefix sum of `parts`).
+struct Prefixes {
+  std::vector<double> sb, wb, sf, wf, pps;
+
+  explicit Prefixes(const CostTerms& t) {
+    const size_t n = t.num_blocks();
+    sb.assign(n + 1, 0.0);
+    wb.assign(n + 1, 0.0);
+    sf.assign(n + 1, 0.0);
+    wf.assign(n + 1, 0.0);
+    pps.assign(n, 0.0);
+    double run = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sb[i + 1] = sb[i] + t.bck[i];
+      wb[i + 1] = wb[i] + t.bck[i] * static_cast<double>(i);
+      sf[i + 1] = sf[i] + t.fwd[i];
+      wf[i + 1] = wf[i] + t.fwd[i] * static_cast<double>(i);
+      run += t.parts[i];
+      pps[i] = run;
+    }
+  }
+
+  // Weight of forming one partition over blocks [a, b], plus its boundary term.
+  double PartitionWeight(size_t a, size_t b) const {
+    const double bck = (wb[b + 1] - wb[a]) - static_cast<double>(a) * (sb[b + 1] - sb[a]);
+    const double fwd = static_cast<double>(b) * (sf[b + 1] - sf[a]) - (wf[b + 1] - wf[a]);
+    return bck + fwd + pps[b];
+  }
+};
+
+Partitioning BacktrackToPartitioning(const std::vector<size_t>& parent, size_t n) {
+  Partitioning p(n);
+  size_t e = n;
+  while (e > 0) {
+    p.SetBoundary(e - 1, true);
+    e = parent[e];
+  }
+  return p;
+}
+
+struct DpOutcome {
+  Partitioning partitioning;
+  double objective;  // excludes the fixed term
+  size_t transitions = 0;
+
+  DpOutcome() : partitioning(1), objective(0) {}
+};
+
+/// Unconstrained-count DP with optional per-boundary penalty `lambda` and
+/// max partition width `mps`. dp[e] = best cost covering blocks [0, e).
+DpOutcome SolveUnbounded(const Prefixes& px, size_t n, size_t mps, double lambda) {
+  std::vector<double> dp(n + 1, kInf);
+  std::vector<size_t> parent(n + 1, 0);
+  dp[0] = 0.0;
+  size_t transitions = 0;
+  for (size_t e = 1; e <= n; ++e) {
+    const size_t lo = (mps > 0 && e > mps) ? e - mps : 0;
+    double best = kInf;
+    size_t best_s = lo;
+    for (size_t s = lo; s < e; ++s) {
+      if (dp[s] == kInf) continue;
+      const double cand = dp[s] + px.PartitionWeight(s, e - 1) + lambda;
+      ++transitions;
+      if (cand < best) {
+        best = cand;
+        best_s = s;
+      }
+    }
+    dp[e] = best;
+    parent[e] = best_s;
+  }
+  DpOutcome out;
+  out.partitioning = BacktrackToPartitioning(parent, n);
+  // Remove the penalty contribution to report the true objective.
+  out.objective = dp[n] - lambda * static_cast<double>(out.partitioning.NumPartitions());
+  out.transitions = transitions;
+  return out;
+}
+
+/// Layered DP: dp[k][e] = best cost covering [0, e) with exactly k partitions.
+DpOutcome SolveWithExactCountBound(const Prefixes& px, size_t n, size_t mps,
+                                   size_t max_parts, size_t* transitions) {
+  const size_t kmax = std::min(max_parts, n);
+  std::vector<std::vector<double>> dp(kmax + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<size_t>> parent(kmax + 1, std::vector<size_t>(n + 1, 0));
+  dp[0][0] = 0.0;
+  for (size_t k = 1; k <= kmax; ++k) {
+    for (size_t e = k; e <= n; ++e) {
+      const size_t lo = (mps > 0 && e > mps) ? e - mps : 0;
+      double best = kInf;
+      size_t best_s = lo;
+      for (size_t s = std::max(lo, k - 1); s < e; ++s) {
+        if (dp[k - 1][s] == kInf) continue;
+        const double cand = dp[k - 1][s] + px.PartitionWeight(s, e - 1);
+        ++*transitions;
+        if (cand < best) {
+          best = cand;
+          best_s = s;
+        }
+      }
+      dp[k][e] = best;
+      parent[k][e] = best_s;
+    }
+  }
+  // Pick the best k <= kmax.
+  double best = kInf;
+  size_t best_k = 1;
+  for (size_t k = 1; k <= kmax; ++k) {
+    if (dp[k][n] < best) {
+      best = dp[k][n];
+      best_k = k;
+    }
+  }
+  CASPER_CHECK_MSG(best < kInf, "no feasible layout under the given constraints");
+  Partitioning p(n);
+  size_t e = n;
+  size_t k = best_k;
+  while (e > 0) {
+    p.SetBoundary(e - 1, true);
+    e = parent[k][e];
+    --k;
+  }
+  DpOutcome out;
+  out.partitioning = p;
+  out.objective = best;
+  return out;
+}
+
+}  // namespace
+
+SolveResult DpSolver::Solve(const CostTerms& terms, const SolverOptions& opts) {
+  const size_t n = terms.num_blocks();
+  CASPER_CHECK(n > 0);
+  if (opts.max_partition_blocks > 0) {
+    CASPER_CHECK_MSG(opts.max_partitions == 0 ||
+                         opts.max_partitions * opts.max_partition_blocks >= n,
+                     "SLA constraints are jointly infeasible");
+  }
+  Stopwatch sw;
+  Prefixes px(terms);
+  const size_t mps = opts.max_partition_blocks;
+
+  SolveResult result;
+  if (opts.max_partitions == 0 || opts.max_partitions >= n) {
+    DpOutcome out = SolveUnbounded(px, n, mps, 0.0);
+    result.partitioning = out.partitioning;
+    result.stats.transitions = out.transitions;
+  } else if ((opts.max_partitions + 1) * (n + 1) * n <= opts.exact_layered_budget) {
+    size_t transitions = 0;
+    DpOutcome out = SolveWithExactCountBound(px, n, mps, opts.max_partitions,
+                                             &transitions);
+    result.partitioning = out.partitioning;
+    result.stats.transitions = transitions;
+  } else {
+    // Lagrangian relaxation: a per-boundary penalty lambda >= 0 makes the
+    // unconstrained DP prefer fewer partitions; the optimal count is
+    // non-increasing in lambda, so binary search finds the tightest feasible
+    // layout. (Exact when the cost-vs-count frontier is convex, which holds
+    // for the separable objective; otherwise conservative-feasible.)
+    double lo = 0.0;
+    double hi = 1.0;
+    DpOutcome best = SolveUnbounded(px, n, mps, 0.0);
+    result.stats.transitions += best.transitions;
+    if (best.partitioning.NumPartitions() > opts.max_partitions) {
+      // Grow hi until feasible.
+      DpOutcome cand = best;
+      while (true) {
+        cand = SolveUnbounded(px, n, mps, hi);
+        result.stats.transitions += cand.transitions;
+        ++result.stats.lagrangian_iterations;
+        if (cand.partitioning.NumPartitions() <= opts.max_partitions) break;
+        hi *= 4.0;
+        CASPER_CHECK_MSG(hi < 1e18, "Lagrangian search diverged");
+      }
+      best = cand;
+      for (int it = 0; it < 48; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        DpOutcome probe = SolveUnbounded(px, n, mps, mid);
+        result.stats.transitions += probe.transitions;
+        ++result.stats.lagrangian_iterations;
+        if (probe.partitioning.NumPartitions() <= opts.max_partitions) {
+          hi = mid;
+          if (probe.objective < best.objective ||
+              best.partitioning.NumPartitions() > opts.max_partitions) {
+            best = probe;
+          }
+        } else {
+          lo = mid;
+        }
+      }
+      result.stats.used_lagrangian = true;
+    }
+    result.partitioning = best.partitioning;
+  }
+
+  result.cost = EvaluateLayoutCost(terms, result.partitioning);
+  result.stats.solve_seconds = sw.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace casper

@@ -1,0 +1,60 @@
+#include "optimizer/ghost_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace casper {
+
+GhostAllocation AllocateGhostValues(const FrequencyModel& fm, const Partitioning& p,
+                                    size_t total_budget) {
+  CASPER_CHECK(fm.num_blocks() == p.num_blocks());
+  const size_t k = p.NumPartitions();
+  GhostAllocation out;
+  out.per_partition.assign(k, 0);
+  out.total = total_budget;
+  if (total_budget == 0) return out;
+
+  // Data movement attracted by each partition (Eq. 18's dm_part).
+  std::vector<double> dm(k, 0.0);
+  const auto& in = fm.in();
+  const auto& utf = fm.utf();
+  const auto& utb = fm.utb();
+  size_t part = 0;
+  for (size_t i = 0; i < fm.num_blocks(); ++i) {
+    dm[part] += in[i] + utf[i] + utb[i];
+    if (p.IsBoundary(i)) ++part;
+  }
+  double dm_tot = std::accumulate(dm.begin(), dm.end(), 0.0);
+  if (dm_tot <= 0.0) {
+    // No write pressure: spread evenly.
+    std::fill(dm.begin(), dm.end(), 1.0);
+    dm_tot = static_cast<double>(k);
+  }
+
+  // Largest-remainder apportionment of the integer budget.
+  std::vector<double> exact(k);
+  size_t assigned = 0;
+  for (size_t t = 0; t < k; ++t) {
+    exact[t] = dm[t] / dm_tot * static_cast<double>(total_budget);
+    out.per_partition[t] = static_cast<size_t>(std::floor(exact[t]));
+    assigned += out.per_partition[t];
+  }
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double ra = exact[a] - std::floor(exact[a]);
+    const double rb = exact[b] - std::floor(exact[b]);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  for (size_t i = 0; assigned < total_budget; ++i) {
+    out.per_partition[order[i % k]] += 1;
+    ++assigned;
+  }
+  return out;
+}
+
+}  // namespace casper

@@ -1,0 +1,33 @@
+#ifndef CASPER_OPTIMIZER_GHOST_ALLOCATION_H_
+#define CASPER_OPTIMIZER_GHOST_ALLOCATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/frequency_model.h"
+#include "optimizer/partitioning.h"
+
+namespace casper {
+
+/// Per-partition ghost-value (empty slot) budget.
+struct GhostAllocation {
+  std::vector<size_t> per_partition;
+  size_t total = 0;
+};
+
+/// Distributes a total ghost-value budget across partitions proportionally to
+/// the data movement each partition absorbs from inserts and incoming
+/// updates (paper Eq. 18):
+///
+///   GValloc(t) = dm_part(t) / dm_tot * GV_tot,
+///   dm_part(t) = sum_{block i in t} (in_i + utf_i + utb_i).
+///
+/// Fractional shares are resolved by largest remainder so the budget is spent
+/// exactly. When the workload has no inserts/updates (dm_tot == 0), the
+/// budget is spread evenly — ghost values then only serve future deletes.
+GhostAllocation AllocateGhostValues(const FrequencyModel& fm, const Partitioning& p,
+                                    size_t total_budget);
+
+}  // namespace casper
+
+#endif  // CASPER_OPTIMIZER_GHOST_ALLOCATION_H_

@@ -1,0 +1,64 @@
+#ifndef CASPER_OPTIMIZER_LAYOUT_PLANNER_H_
+#define CASPER_OPTIMIZER_LAYOUT_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/access_cost.h"
+#include "model/cost_model.h"
+#include "model/frequency_model.h"
+#include "optimizer/dp_solver.h"
+#include "optimizer/ghost_allocation.h"
+#include "optimizer/partitioning.h"
+
+namespace casper {
+
+class ThreadPool;
+
+/// Everything the planner needs besides the Frequency Model.
+struct PlannerOptions {
+  AccessCostConstants costs;
+  /// Ghost-value budget as a fraction of the chunk's element count
+  /// (paper default experiments: 0.001 = 0.1%).
+  double ghost_fraction = 0.001;
+  /// SLAs in nanoseconds; <= 0 disables the bound.
+  double update_sla_ns = 0.0;
+  double read_sla_ns = 0.0;
+  /// Optional hard cap on partition count (e.g. "as many as equi-width",
+  /// the fairness rule of the paper's §7 experiments). 0 = derived from
+  /// the update SLA only.
+  size_t max_partitions = 0;
+};
+
+/// The layout decision for one column chunk.
+struct ChunkPlan {
+  Partitioning partitioning;
+  GhostAllocation ghosts;
+  double predicted_cost = 0.0;
+  SolveStats solve_stats;
+
+  ChunkPlan() : partitioning(1) {}
+
+  /// Partition sizes in values, given `block_values` values per block and
+  /// `chunk_values` total values (the final block may be partial).
+  std::vector<size_t> PartitionValueSizes(size_t block_values,
+                                          size_t chunk_values) const;
+};
+
+/// Plans optimal layouts per chunk (paper §5 + §6.3). Chunks are independent
+/// sub-problems; PlanChunks fans them out over a thread pool, which is the
+/// scalability lever of Fig. 11.
+class LayoutPlanner {
+ public:
+  static ChunkPlan PlanChunk(const FrequencyModel& fm, size_t chunk_values,
+                             const PlannerOptions& opts);
+
+  static std::vector<ChunkPlan> PlanChunks(const std::vector<FrequencyModel>& fms,
+                                           size_t chunk_values,
+                                           const PlannerOptions& opts,
+                                           ThreadPool* pool = nullptr);
+};
+
+}  // namespace casper
+
+#endif  // CASPER_OPTIMIZER_LAYOUT_PLANNER_H_

@@ -1,0 +1,113 @@
+#include "optimizer/partitioning.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace casper {
+
+Partitioning::Partitioning(size_t num_blocks) {
+  CASPER_CHECK_MSG(num_blocks > 0, "partitioning needs at least one block");
+  bits_.assign(num_blocks, 0);
+  bits_.back() = 1;
+}
+
+Partitioning Partitioning::EquiWidth(size_t num_blocks, size_t k) {
+  CASPER_CHECK(k >= 1 && k <= num_blocks);
+  Partitioning p(num_blocks);
+  // Place boundary at the end of the b-th slice; slice ends at
+  // round((b+1) * num_blocks / k) - 1.
+  for (size_t b = 0; b + 1 < k; ++b) {
+    const size_t end = (b + 1) * num_blocks / k;
+    p.bits_[end - 1] = 1;
+  }
+  return p;
+}
+
+Partitioning Partitioning::FromBoundaryBits(std::vector<uint8_t> bits) {
+  CASPER_CHECK(!bits.empty());
+  CASPER_CHECK_MSG(bits.back() != 0, "last block must be a partition boundary");
+  Partitioning p(bits.size());
+  p.bits_ = std::move(bits);
+  for (auto& b : p.bits_) b = (b != 0) ? 1 : 0;
+  return p;
+}
+
+Partitioning Partitioning::FromWidths(const std::vector<size_t>& widths) {
+  CASPER_CHECK(!widths.empty());
+  const size_t total = std::accumulate(widths.begin(), widths.end(), size_t{0});
+  CASPER_CHECK(total > 0);
+  Partitioning p(total);
+  size_t pos = 0;
+  for (const size_t w : widths) {
+    CASPER_CHECK_MSG(w > 0, "empty partition in FromWidths");
+    pos += w;
+    p.bits_[pos - 1] = 1;
+  }
+  return p;
+}
+
+size_t Partitioning::NumPartitions() const {
+  size_t k = 0;
+  for (const uint8_t b : bits_) k += b;
+  return k;
+}
+
+void Partitioning::SetBoundary(size_t block, bool is_boundary) {
+  CASPER_CHECK(block < bits_.size());
+  if (block == bits_.size() - 1) {
+    CASPER_CHECK_MSG(is_boundary, "final boundary is mandatory");
+    return;
+  }
+  bits_[block] = is_boundary ? 1 : 0;
+}
+
+std::vector<size_t> Partitioning::PartitionWidths() const {
+  std::vector<size_t> widths;
+  size_t start = 0;
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) {
+      widths.push_back(i - start + 1);
+      start = i + 1;
+    }
+  }
+  return widths;
+}
+
+std::vector<size_t> Partitioning::PartitionStarts() const {
+  std::vector<size_t> starts;
+  starts.push_back(0);
+  for (size_t i = 0; i + 1 < bits_.size(); ++i) {
+    if (bits_[i]) starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+size_t Partitioning::PartitionOfBlock(size_t block) const {
+  CASPER_CHECK(block < bits_.size());
+  size_t part = 0;
+  for (size_t i = 0; i < block; ++i) part += bits_[i];
+  return part;
+}
+
+size_t Partitioning::MaxPartitionWidth() const {
+  size_t best = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) {
+      best = std::max(best, i - start + 1);
+      start = i + 1;
+    }
+  }
+  return best;
+}
+
+std::string Partitioning::ToString() const {
+  std::ostringstream oss;
+  oss << "|";
+  for (const size_t w : PartitionWidths()) oss << w << "|";
+  return oss.str();
+}
+
+}  // namespace casper

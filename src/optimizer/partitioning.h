@@ -1,0 +1,62 @@
+#ifndef CASPER_OPTIMIZER_PARTITIONING_H_
+#define CASPER_OPTIMIZER_PARTITIONING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casper {
+
+/// A partitioning scheme over N logical blocks, represented exactly as in the
+/// paper (§4.1): a Boolean vector p where p[i] == 1 means a partition ends at
+/// the end of block i. The last block is always a boundary (Eq. 19's
+/// constraint p_{N-1} = 1), so the scheme always forms >= 1 partition.
+class Partitioning {
+ public:
+  /// Single partition spanning all `num_blocks` blocks.
+  explicit Partitioning(size_t num_blocks);
+
+  /// Equi-width scheme with `k` partitions (widths differ by at most one
+  /// block when k does not divide num_blocks).
+  static Partitioning EquiWidth(size_t num_blocks, size_t k);
+
+  /// From an explicit boundary bit vector; bits.back() must be 1.
+  static Partitioning FromBoundaryBits(std::vector<uint8_t> bits);
+
+  /// From partition widths (in blocks); widths must sum to the block count.
+  static Partitioning FromWidths(const std::vector<size_t>& widths);
+
+  size_t num_blocks() const { return bits_.size(); }
+  size_t NumPartitions() const;
+
+  bool IsBoundary(size_t block) const { return bits_[block] != 0; }
+
+  /// Set/clear a boundary. The final boundary cannot be cleared.
+  void SetBoundary(size_t block, bool is_boundary);
+
+  /// Width (in blocks) of each partition, in order.
+  std::vector<size_t> PartitionWidths() const;
+
+  /// First block of each partition, in order.
+  std::vector<size_t> PartitionStarts() const;
+
+  /// Index of the partition containing `block`.
+  size_t PartitionOfBlock(size_t block) const;
+
+  size_t MaxPartitionWidth() const;
+
+  const std::vector<uint8_t>& bits() const { return bits_; }
+
+  bool operator==(const Partitioning& other) const { return bits_ == other.bits_; }
+
+  /// e.g. "|3|2|1|2|" (widths between bars).
+  std::string ToString() const;
+
+ private:
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_OPTIMIZER_PARTITIONING_H_

@@ -1,0 +1,313 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace casper {
+
+std::vector<size_t> PartitionedTable::ChunkRowCounts(size_t rows,
+                                                     const Options& options) {
+  std::vector<size_t> counts;
+  size_t remaining = rows;
+  while (remaining > 0) {
+    const size_t take = std::min(remaining, options.chunk_values);
+    counts.push_back(take);
+    remaining -= take;
+  }
+  return counts;
+}
+
+PartitionedTable PartitionedTable::Build(std::vector<Value> sorted_keys,
+                                         std::vector<std::vector<Payload>> payload_cols,
+                                         std::vector<ChunkLayoutSpec> specs) {
+  return Build(std::move(sorted_keys), std::move(payload_cols), std::move(specs),
+               Options());
+}
+
+PartitionedTable PartitionedTable::Build(std::vector<Value> sorted_keys,
+                                         std::vector<std::vector<Payload>> payload_cols,
+                                         std::vector<ChunkLayoutSpec> specs,
+                                         Options options) {
+  CASPER_CHECK(!sorted_keys.empty());
+  CASPER_CHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  for (const auto& col : payload_cols) {
+    CASPER_CHECK_MSG(col.size() == sorted_keys.size(),
+                     "payload column length != row count");
+  }
+  // Chunk row counts are implied by the specs (each spec's partition sizes
+  // sum to its chunk's row count); this lets callers use duplicate-safe
+  // chunk cuts that deviate from a fixed chunk size.
+  CASPER_CHECK(!specs.empty());
+  std::vector<size_t> counts;
+  counts.reserve(specs.size());
+  size_t covered = 0;
+  for (const auto& spec : specs) {
+    const size_t n = std::accumulate(spec.partition_sizes.begin(),
+                                     spec.partition_sizes.end(), size_t{0});
+    CASPER_CHECK_MSG(n > 0, "empty chunk spec");
+    counts.push_back(n);
+    covered += n;
+  }
+  CASPER_CHECK_MSG(covered == sorted_keys.size(),
+                   "chunk specs must cover all rows exactly");
+
+  PartitionedTable table;
+  table.opts_ = options;
+  table.payload_cols_ = payload_cols.size();
+  table.rows_ = sorted_keys.size();
+
+  size_t offset = 0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    const size_t n = counts[c];
+    std::vector<Value> keys(sorted_keys.begin() + static_cast<ptrdiff_t>(offset),
+                            sorted_keys.begin() + static_cast<ptrdiff_t>(offset + n));
+    PartitionedColumnChunk chunk = PartitionedColumnChunk::Build(
+        std::move(keys), specs[c].partition_sizes, specs[c].ghosts, options.chunk);
+
+    // Payload arrays mirror the chunk's slot layout (values packed at the
+    // head of each partition region, free slots zero-filled).
+    std::vector<std::vector<Payload>> payload(table.payload_cols_);
+    for (size_t col = 0; col < table.payload_cols_; ++col) {
+      payload[col].assign(chunk.capacity(), 0);
+    }
+    size_t src = offset;
+    for (size_t t = 0; t < chunk.num_partitions(); ++t) {
+      const auto& p = chunk.partition(t);
+      for (size_t s = 0; s < p.size; ++s) {
+        for (size_t col = 0; col < table.payload_cols_; ++col) {
+          payload[col][p.begin + s] = payload_cols[col][src + s];
+        }
+      }
+      src += p.size;
+    }
+    table.chunk_uppers_.push_back(chunk.domain_upper());
+    table.chunks_.emplace_back(std::move(chunk), std::move(payload));
+    offset += n;
+  }
+  return table;
+}
+
+size_t PartitionedTable::RouteChunk(Value key) const {
+  const auto it = std::lower_bound(chunk_uppers_.begin(), chunk_uppers_.end(), key);
+  if (it == chunk_uppers_.end()) return chunks_.size() - 1;
+  return static_cast<size_t>(std::distance(chunk_uppers_.begin(), it));
+}
+
+size_t PartitionedTable::PointLookup(Value key,
+                                     std::vector<Payload>* payload_out) const {
+  const size_t c = RouteChunk(key);
+  const auto& chunk = chunks_[c];
+  if (payload_out == nullptr || payload_cols_ == 0) {
+    size_t n = chunk.keys.CountEqual(key);
+    if (payload_out != nullptr) payload_out->clear();
+    return n;
+  }
+  std::vector<uint32_t> slots;
+  chunk.keys.CollectSlots(key, &slots);
+  payload_out->clear();
+  if (!slots.empty()) {
+    payload_out->resize(payload_cols_);
+    for (size_t col = 0; col < payload_cols_; ++col) {
+      (*payload_out)[col] = chunk.payload[col][slots.front()];
+    }
+  }
+  return slots.size();
+}
+
+uint64_t PartitionedTable::CountRange(Value lo, Value hi) const {
+  if (lo >= hi) return 0;
+  uint64_t count = 0;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const bool is_last = (c + 1 == chunks_.size());
+    if (!is_last && chunk_uppers_[c] < lo) continue;
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
+    count += chunks_[c].keys.CountRange(lo, hi);
+  }
+  return count;
+}
+
+int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
+                                          const std::vector<size_t>& cols) const {
+  if (lo >= hi) return 0;
+  int64_t sum = 0;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const bool is_last_chunk = (c + 1 == chunks_.size());
+    if (!is_last_chunk && chunk_uppers_[c] < lo) continue;
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
+    const auto& chunk = chunks_[c].keys;
+    if (chunk.size() == 0) continue;
+    const Value* keys = chunk.raw_data().data();
+    const size_t first = chunk.RoutePartition(lo);
+    const size_t last = chunk.RoutePartition(hi - 1);
+    for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
+      const auto& p = chunk.partition(t);
+      if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
+      const size_t begin = p.begin;
+      const size_t end = p.begin + p.size;
+      for (const size_t col : cols) {
+        const Payload* data = chunks_[c].payload[col].data();
+        if (t == first || t == last) {
+          for (size_t s = begin; s < end; ++s) {
+            if (keys[s] >= lo && keys[s] < hi) sum += data[s];
+          }
+        } else {
+          for (size_t s = begin; s < end; ++s) sum += data[s];
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+int64_t PartitionedTable::TpchQ6(Value lo, Value hi, Payload disc_lo,
+                                 Payload disc_hi, Payload qty_max) const {
+  if (payload_cols_ < 3 || lo >= hi) return 0;
+  int64_t sum = 0;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const bool is_last_chunk = (c + 1 == chunks_.size());
+    if (!is_last_chunk && chunk_uppers_[c] < lo) continue;
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
+    const auto& chunk = chunks_[c].keys;
+    if (chunk.size() == 0) continue;
+    const Value* keys = chunk.raw_data().data();
+    const Payload* qty = chunks_[c].payload[0].data();
+    const Payload* disc = chunks_[c].payload[1].data();
+    const Payload* price = chunks_[c].payload[2].data();
+    const size_t first = chunk.RoutePartition(lo);
+    const size_t last = chunk.RoutePartition(hi - 1);
+    for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
+      const auto& p = chunk.partition(t);
+      if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
+      const size_t begin = p.begin;
+      const size_t end = p.begin + p.size;
+      if (t == first || t == last) {
+        for (size_t s = begin; s < end; ++s) {
+          if (keys[s] >= lo && keys[s] < hi && disc[s] >= disc_lo &&
+              disc[s] <= disc_hi && qty[s] < qty_max) {
+            sum += static_cast<int64_t>(price[s]) * disc[s];
+          }
+        }
+      } else {
+        // Middle partitions fully qualify on the key: payload-only filter.
+        for (size_t s = begin; s < end; ++s) {
+          if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
+            sum += static_cast<int64_t>(price[s]) * disc[s];
+          }
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+int64_t PartitionedTable::SumKeysRange(Value lo, Value hi) const {
+  int64_t sum = 0;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const bool is_last = (c + 1 == chunks_.size());
+    if (!is_last && chunk_uppers_[c] < lo) continue;
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
+    sum += chunks_[c].keys.SumRange(lo, hi);
+  }
+  return sum;
+}
+
+void PartitionedTable::ApplyMoveLog(TableChunk& chunk, const MoveLog& log,
+                                    const std::vector<Payload>* new_payload,
+                                    std::vector<Payload>* stash) {
+  if (payload_cols_ == 0) return;
+  if (log.grew_to != MoveLog::kNone) {
+    for (auto& col : chunk.payload) col.resize(log.grew_to, 0);
+  }
+  if (stash != nullptr && log.source_slot != MoveLog::kNone) {
+    stash->resize(payload_cols_);
+    for (size_t col = 0; col < payload_cols_; ++col) {
+      (*stash)[col] = chunk.payload[col][log.source_slot];
+    }
+  }
+  for (const auto& [from, to] : log.moves) {
+    for (size_t col = 0; col < payload_cols_; ++col) {
+      chunk.payload[col][to] = chunk.payload[col][from];
+    }
+  }
+  if (log.touched_slot != MoveLog::kNone) {
+    const std::vector<Payload>* row = new_payload != nullptr ? new_payload : stash;
+    if (row != nullptr && !row->empty()) {
+      for (size_t col = 0; col < payload_cols_; ++col) {
+        chunk.payload[col][log.touched_slot] = (*row)[col];
+      }
+    }
+  }
+}
+
+void PartitionedTable::Insert(Value key, const std::vector<Payload>& payload) {
+  CASPER_CHECK(payload.size() == payload_cols_);
+  const size_t c = RouteChunk(key);
+  MoveLog log;
+  chunks_[c].keys.Insert(key, &log);
+  ApplyMoveLog(chunks_[c], log, &payload, nullptr);
+  ++rows_;
+}
+
+size_t PartitionedTable::Delete(Value key) {
+  const size_t c = RouteChunk(key);
+  MoveLog log;
+  const size_t n = chunks_[c].keys.DeleteOne(key, &log);
+  if (n > 0) {
+    ApplyMoveLog(chunks_[c], log, nullptr, nullptr);
+    --rows_;
+  }
+  return n;
+}
+
+bool PartitionedTable::UpdateKey(Value old_key, Value new_key) {
+  const size_t c_old = RouteChunk(old_key);
+  const size_t c_new = RouteChunk(new_key);
+  if (c_old == c_new) {
+    MoveLog log;
+    std::vector<Payload> stash;
+    if (!chunks_[c_old].keys.Update(old_key, new_key, &log)) return false;
+    ApplyMoveLog(chunks_[c_old], log, nullptr, &stash);
+    return true;
+  }
+  // Cross-chunk update: delete from the source chunk, reinsert in the
+  // destination chunk, carrying the payload across.
+  std::vector<uint32_t> slots;
+  chunks_[c_old].keys.CollectSlots(old_key, &slots);
+  if (slots.empty()) return false;
+  std::vector<Payload> row(payload_cols_);
+  for (size_t col = 0; col < payload_cols_; ++col) {
+    row[col] = chunks_[c_old].payload[col][slots.front()];
+  }
+  MoveLog del_log;
+  CASPER_CHECK(chunks_[c_old].keys.DeleteOne(old_key, &del_log) == 1);
+  ApplyMoveLog(chunks_[c_old], del_log, nullptr, nullptr);
+  MoveLog ins_log;
+  chunks_[c_new].keys.Insert(new_key, &ins_log);
+  ApplyMoveLog(chunks_[c_new], ins_log, &row, nullptr);
+  return true;
+}
+
+size_t PartitionedTable::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& chunk : chunks_) {
+    bytes += chunk.keys.capacity() * sizeof(Value);
+    for (const auto& col : chunk.payload) bytes += col.size() * sizeof(Payload);
+  }
+  return bytes;
+}
+
+void PartitionedTable::ValidateInvariants() const {
+  size_t live = 0;
+  for (const auto& chunk : chunks_) {
+    chunk.keys.ValidateInvariants();
+    live += chunk.keys.size();
+    for (const auto& col : chunk.payload) {
+      CASPER_CHECK(col.size() == chunk.keys.capacity());
+    }
+  }
+  CASPER_CHECK(live == rows_);
+}
+
+}  // namespace casper

@@ -1,0 +1,147 @@
+#ifndef CASPER_STORAGE_TABLE_H_
+#define CASPER_STORAGE_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/column_chunk.h"
+#include "storage/types.h"
+
+namespace casper {
+
+/// A column-group table in the HAP schema: one key column a0 (the sort /
+/// partition attribute) plus `p` fixed-width payload columns a1..ap.
+/// The key column is a sequence of range-partitioned chunks (1M values each
+/// by default, paper §7 "Column Chunks"); payload columns are flat arrays
+/// aligned slot-for-slot with each chunk, kept in sync by replaying the
+/// chunk's MoveLog. The Frequency Model and layout decisions are oblivious
+/// to payload width (paper §4.2, "Columns and Column-Groups").
+class PartitionedTable {
+ public:
+  struct Options {
+    size_t chunk_values = size_t{1} << 20;
+    PartitionedColumnChunk::Options chunk;
+  };
+
+  /// Physical layout for one chunk: partition sizes in values (must sum to
+  /// the chunk's row count) and per-partition ghost-slot counts.
+  struct ChunkLayoutSpec {
+    std::vector<size_t> partition_sizes;
+    std::vector<size_t> ghosts;
+  };
+
+  /// Bulk-loads rows already sorted by key. `payload_cols[c][r]` is column
+  /// c+1 of row r. `specs[i]` describes chunk i; chunks are formed by
+  /// splitting the sorted input into runs of at most options.chunk_values.
+  static PartitionedTable Build(std::vector<Value> sorted_keys,
+                                std::vector<std::vector<Payload>> payload_cols,
+                                std::vector<ChunkLayoutSpec> specs,
+                                Options options);
+  static PartitionedTable Build(std::vector<Value> sorted_keys,
+                                std::vector<std::vector<Payload>> payload_cols,
+                                std::vector<ChunkLayoutSpec> specs);
+
+  /// Number of chunks a sorted input of `rows` rows will be split into.
+  static size_t NumChunksFor(size_t rows, const Options& options) {
+    return (rows + options.chunk_values - 1) / options.chunk_values;
+  }
+
+  /// Row counts per chunk for a sorted input of `rows` rows.
+  static std::vector<size_t> ChunkRowCounts(size_t rows, const Options& options);
+
+  // --- Queries ---------------------------------------------------------------
+
+  /// Q1: point query. Returns match count; fills `payload_out` (resized to
+  /// the payload column count) with the first match's payload if any.
+  size_t PointLookup(Value key, std::vector<Payload>* payload_out = nullptr) const;
+
+  /// Q2: COUNT(*) over key range [lo, hi).
+  uint64_t CountRange(Value lo, Value hi) const;
+
+  /// Q3: SUM over selected payload columns of rows with key in [lo, hi).
+  int64_t SumPayloadRange(Value lo, Value hi, const std::vector<size_t>& cols) const;
+
+  /// Sum of keys in [lo, hi) (single-column aggregate).
+  int64_t SumKeysRange(Value lo, Value hi) const;
+
+  /// TPC-H Q6 shape with tight per-partition loops over the payload arrays:
+  /// SELECT sum(price * discount) WHERE key in [lo, hi) AND discount in
+  /// [disc_lo, disc_hi] AND quantity < qty_max, with columns
+  /// {0: quantity, 1: discount, 2: price}. Middle partitions skip the key
+  /// predicate entirely (they fully qualify, paper Fig. 3c).
+  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                 Payload qty_max) const;
+
+  /// Visits every qualifying row: fn(chunk_index, slot, key).
+  template <typename Fn>
+  void ForEachRowInRange(Value lo, Value hi, Fn&& fn) const;
+
+  /// Payload accessor for rows surfaced by ForEachRowInRange.
+  Payload payload(size_t chunk, size_t col, uint32_t slot) const {
+    return chunks_[chunk].payload[col][slot];
+  }
+
+  // --- Writes ----------------------------------------------------------------
+
+  /// Q4: insert a row. `payload` must have one entry per payload column.
+  void Insert(Value key, const std::vector<Payload>& payload);
+
+  /// Q5: delete one row with the given key. Returns rows deleted (0 or 1).
+  size_t Delete(Value key);
+
+  /// Q6: move one row from old_key to new_key (primary-key correction).
+  bool UpdateKey(Value old_key, Value new_key);
+
+  // --- Introspection -----------------------------------------------------------
+
+  size_t num_rows() const { return rows_; }
+  size_t num_chunks() const { return chunks_.size(); }
+  size_t num_payload_columns() const { return payload_cols_; }
+  const PartitionedColumnChunk& key_chunk(size_t i) const { return chunks_[i].keys; }
+  PartitionedColumnChunk& mutable_key_chunk(size_t i) { return chunks_[i].keys; }
+
+  /// Bytes held by key + payload storage (memory-amplification reporting).
+  size_t MemoryBytes() const;
+
+  void ValidateInvariants() const;
+
+ private:
+  struct TableChunk {
+    TableChunk(PartitionedColumnChunk k, std::vector<std::vector<Payload>> p)
+        : keys(std::move(k)), payload(std::move(p)) {}
+    PartitionedColumnChunk keys;
+    std::vector<std::vector<Payload>> payload;  // [col][slot]
+  };
+
+  PartitionedTable() = default;
+
+  size_t RouteChunk(Value key) const;
+  void ApplyMoveLog(TableChunk& chunk, const MoveLog& log,
+                    const std::vector<Payload>* new_payload,
+                    std::vector<Payload>* stash);
+
+  Options opts_;
+  size_t payload_cols_ = 0;
+  size_t rows_ = 0;
+  std::vector<TableChunk> chunks_;
+  std::vector<Value> chunk_uppers_;
+};
+
+template <typename Fn>
+void PartitionedTable::ForEachRowInRange(Value lo, Value hi, Fn&& fn) const {
+  if (lo >= hi) return;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    // Chunk c holds keys in (uppers[c-1], uppers[c]]; the last chunk also
+    // absorbs everything above its build-time upper.
+    const bool is_last = (c + 1 == chunks_.size());
+    if (!is_last && chunk_uppers_[c] < lo) continue;     // entirely below
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;  // entirely above
+    const auto& chunk = chunks_[c].keys;
+    chunk.ForEachSlotInRange(
+        lo, hi, [&](uint32_t slot) { fn(c, slot, chunk.raw_data()[slot]); });
+  }
+}
+
+}  // namespace casper
+
+#endif  // CASPER_STORAGE_TABLE_H_

@@ -1,0 +1,59 @@
+#ifndef CASPER_STORAGE_TYPES_H_
+#define CASPER_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace casper {
+
+/// Key attribute type (the HAP schema's 8-byte integer a0).
+using Value = int64_t;
+
+/// Payload attribute type (the HAP schema's 4-byte integers a1..ap).
+using Payload = uint32_t;
+
+constexpr Value kMinValue = std::numeric_limits<Value>::min();
+constexpr Value kMaxValue = std::numeric_limits<Value>::max();
+
+/// Physical slot movements performed by a chunk operation. Column groups
+/// replay the log on payload columns so rows stay positionally aligned
+/// (the Frequency Model and chunk logic are oblivious to payload width,
+/// paper §4.2 "Columns and Column-Groups").
+struct MoveLog {
+  static constexpr uint32_t kNone = std::numeric_limits<uint32_t>::max();
+
+  /// Element copies data[from] -> data[to], in execution order.
+  std::vector<std::pair<uint32_t, uint32_t>> moves;
+  /// Final slot of the row inserted / updated by this operation.
+  uint32_t touched_slot = kNone;
+  /// Original slot of the row being updated (its payload must be stashed
+  /// before applying `moves` and rewritten at `touched_slot` afterwards).
+  uint32_t source_slot = kNone;
+  /// New chunk capacity if the operation grew the underlying buffer.
+  uint32_t grew_to = kNone;
+
+  void Clear() {
+    moves.clear();
+    touched_slot = kNone;
+    source_slot = kNone;
+    grew_to = kNone;
+  }
+};
+
+/// Data-movement accounting, used by tests to pin the ripple algorithms to
+/// the cost model and by benches for reporting.
+struct ChunkStats {
+  uint64_t element_reads = 0;
+  uint64_t element_writes = 0;
+  uint64_t ripple_steps = 0;       ///< free-slot moves across boundaries
+  uint64_t partitions_scanned = 0; ///< partitions touched by queries
+  uint64_t blocks_scanned = 0;     ///< sequential element batches read
+  uint64_t grows = 0;
+
+  void Clear() { *this = ChunkStats{}; }
+};
+
+}  // namespace casper
+
+#endif  // CASPER_STORAGE_TYPES_H_

@@ -1,0 +1,170 @@
+#include "txn/mvcc.h"
+
+#include <algorithm>
+
+namespace casper {
+
+Transaction MvccTable::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Transaction(this, oracle_.Current());
+}
+
+uint64_t MvccTable::CommittedRows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t snap = oracle_.Current();
+  uint64_t rows = 0;
+  for (const auto& [key, v] : versions_) rows += VisibleAt(v, snap);
+  return rows;
+}
+
+size_t Transaction::Read(Value key, std::vector<Payload>* payload) {
+  CASPER_CHECK(active_);
+  size_t count = 0;
+  const std::vector<Payload>* first = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(table_->mu_);
+    auto [lo, hi] = table_->versions_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      if (table_->VisibleAt(it->second, snapshot_)) {
+        if (first == nullptr) first = &it->second.payload;
+        ++count;
+      }
+    }
+  }
+  // Apply local effects: deletes hide snapshot rows; inserts add.
+  const auto del = local_deletes_.find(key);
+  if (del != local_deletes_.end()) {
+    count -= std::min(count, del->second);
+    if (count == 0) first = nullptr;
+  }
+  for (const auto& row : local_inserts_) {
+    if (row.key == key) {
+      if (first == nullptr) first = &row.payload;
+      ++count;
+    }
+  }
+  if (payload != nullptr) {
+    payload->clear();
+    if (first != nullptr) *payload = *first;
+  }
+  return count;
+}
+
+uint64_t Transaction::CountRange(Value lo, Value hi) {
+  CASPER_CHECK(active_);
+  if (lo >= hi) return 0;
+  uint64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(table_->mu_);
+    for (auto it = table_->versions_.lower_bound(lo);
+         it != table_->versions_.end() && it->first < hi; ++it) {
+      count += table_->VisibleAt(it->second, snapshot_);
+    }
+  }
+  for (const auto& [key, n] : local_deletes_) {
+    if (key >= lo && key < hi) count -= std::min<uint64_t>(count, n);
+  }
+  for (const auto& row : local_inserts_) {
+    count += (row.key >= lo && row.key < hi);
+  }
+  return count;
+}
+
+void Transaction::Insert(Value key, std::vector<Payload> payload) {
+  CASPER_CHECK(active_);
+  CASPER_CHECK(payload.size() == table_->payload_cols_);
+  local_inserts_.push_back({key, std::move(payload)});
+}
+
+size_t Transaction::Delete(Value key) {
+  CASPER_CHECK(active_);
+  // Prefer undoing a local insert.
+  for (size_t i = 0; i < local_inserts_.size(); ++i) {
+    if (local_inserts_[i].key == key) {
+      local_inserts_.erase(local_inserts_.begin() + static_cast<ptrdiff_t>(i));
+      return 1;
+    }
+  }
+  // Otherwise mark one visible snapshot row deleted, if any remain.
+  size_t visible = 0;
+  {
+    std::lock_guard<std::mutex> lock(table_->mu_);
+    auto [lo, hi] = table_->versions_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      visible += table_->VisibleAt(it->second, snapshot_);
+    }
+  }
+  auto& already = local_deletes_[key];
+  if (already < visible) {
+    ++already;
+    return 1;
+  }
+  return 0;
+}
+
+bool Transaction::Update(Value old_key, Value new_key) {
+  CASPER_CHECK(active_);
+  std::vector<Payload> payload;
+  if (Read(old_key, &payload) == 0) return false;
+  Delete(old_key);
+  Insert(new_key, std::move(payload));
+  return true;
+}
+
+Status Transaction::Commit() {
+  CASPER_CHECK(active_);
+  std::lock_guard<std::mutex> lock(table_->mu_);
+  // First-committer-wins: if any key we write was committed by someone else
+  // after our snapshot, we must abort.
+  auto conflicts = [&](Value key) {
+    const auto it = table_->last_commit_.find(key);
+    return it != table_->last_commit_.end() && it->second > snapshot_;
+  };
+  for (const auto& row : local_inserts_) {
+    if (conflicts(row.key)) {
+      active_ = false;
+      return Status::Conflict("write-write conflict on key " +
+                              std::to_string(row.key));
+    }
+  }
+  for (const auto& [key, n] : local_deletes_) {
+    (void)n;
+    if (conflicts(key)) {
+      active_ = false;
+      return Status::Conflict("write-write conflict on key " + std::to_string(key));
+    }
+  }
+
+  const uint64_t commit_ts = table_->oracle_.Next();
+  for (auto& [key, n] : local_deletes_) {
+    size_t remaining = n;
+    auto [lo, hi] = table_->versions_.equal_range(key);
+    for (auto it = lo; it != hi && remaining > 0; ++it) {
+      if (table_->VisibleAt(it->second, snapshot_) &&
+          it->second.end_ts == MvccTable::kInfinity) {
+        it->second.end_ts = commit_ts;
+        --remaining;
+      }
+    }
+    table_->last_commit_[key] = commit_ts;
+  }
+  for (auto& row : local_inserts_) {
+    table_->versions_.emplace(
+        row.key,
+        MvccTable::RowVersion{std::move(row.payload), commit_ts,
+                              MvccTable::kInfinity});
+    table_->last_commit_[row.key] = commit_ts;
+  }
+  active_ = false;
+  local_inserts_.clear();
+  local_deletes_.clear();
+  return Status::Ok();
+}
+
+void Transaction::Abort() {
+  active_ = false;
+  local_inserts_.clear();
+  local_deletes_.clear();
+}
+
+}  // namespace casper

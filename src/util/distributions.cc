@@ -1,0 +1,133 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace casper {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CASPER_CHECK_MSG(n > 0, "zipf requires n > 0");
+  CASPER_CHECK_MSG(theta >= 0.0, "zipf requires theta >= 0");
+  const uint64_t buckets = std::min<uint64_t>(n, kMaxTable);
+  cdf_.resize(buckets);
+  // When n > buckets, each bucket b stands for ranks [b*n/buckets, (b+1)*n/buckets);
+  // approximate its mass by the integral of x^-theta over the bucket.
+  double total = 0.0;
+  for (uint64_t b = 0; b < buckets; ++b) {
+    double mass;
+    if (n <= kMaxTable) {
+      mass = std::pow(static_cast<double>(b + 1), -theta);
+    } else {
+      const double lo = static_cast<double>(b) * static_cast<double>(n) / buckets + 1.0;
+      const double hi = static_cast<double>(b + 1) * static_cast<double>(n) / buckets + 1.0;
+      if (std::abs(theta - 1.0) < 1e-9) {
+        mass = std::log(hi) - std::log(lo);
+      } else {
+        mass = (std::pow(hi, 1.0 - theta) - std::pow(lo, 1.0 - theta)) / (1.0 - theta);
+      }
+    }
+    total += mass;
+    cdf_[b] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+double ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const uint64_t bucket =
+      static_cast<uint64_t>(std::distance(cdf_.begin(), std::min(it, cdf_.end() - 1)));
+  // Jitter uniformly within the bucket so large domains are covered smoothly.
+  const double width = 1.0 / static_cast<double>(cdf_.size());
+  return bucket * width + rng.NextDouble() * width;
+}
+
+double ZipfDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // Interpolate within the normalizer table: bucket b covers
+  // [b, b+1) / table_size on the unit domain.
+  const double pos = x * static_cast<double>(cdf_.size());
+  const size_t bucket = std::min(cdf_.size() - 1, static_cast<size_t>(pos));
+  const double below = bucket == 0 ? 0.0 : cdf_[bucket - 1];
+  const double frac = pos - static_cast<double>(bucket);
+  return below + (cdf_[bucket] - below) * frac;
+}
+
+std::string ZipfDistribution::name() const {
+  return "zipf(theta=" + std::to_string(theta_) + ")";
+}
+
+HotspotDistribution::HotspotDistribution(double hot_start, double hot_width,
+                                         double hot_prob)
+    : hot_start_(hot_start), hot_width_(hot_width), hot_prob_(hot_prob) {
+  CASPER_CHECK(hot_start >= 0.0 && hot_start <= 1.0);
+  CASPER_CHECK(hot_width > 0.0 && hot_width <= 1.0);
+  CASPER_CHECK(hot_prob >= 0.0 && hot_prob <= 1.0);
+}
+
+double HotspotDistribution::Sample(Rng& rng) const {
+  double x;
+  if (rng.NextDouble() < hot_prob_) {
+    x = hot_start_ + rng.NextDouble() * hot_width_;
+  } else {
+    x = rng.NextDouble();
+  }
+  if (x >= 1.0) x -= 1.0;  // wrap hotspots that straddle the domain end
+  return x;
+}
+
+double HotspotDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // Uniform background mass + concentrated hot mass; the hot region may wrap
+  // past 1.0 (Sample() folds it back), handled as a second segment at 0.
+  double cdf = (1.0 - hot_prob_) * x;
+  const double hot_end = hot_start_ + hot_width_;
+  auto hot_mass_below = [&](double lo, double hi) {
+    // Mass of the hot segment [lo, hi) below x, where the segment carries
+    // hot_prob proportional to its share of hot_width.
+    const double covered = std::min(x, hi) - lo;
+    if (covered <= 0.0) return 0.0;
+    return hot_prob_ * covered / hot_width_;
+  };
+  cdf += hot_mass_below(hot_start_, std::min(hot_end, 1.0));
+  if (hot_end > 1.0) cdf += hot_mass_below(0.0, hot_end - 1.0);
+  return cdf;
+}
+
+std::string HotspotDistribution::name() const {
+  return "hotspot(p=" + std::to_string(hot_prob_) + ")";
+}
+
+RotatedDistribution::RotatedDistribution(std::shared_ptr<const Distribution> base,
+                                         double shift)
+    : base_(std::move(base)), shift_(shift - std::floor(shift)) {
+  CASPER_CHECK(base_ != nullptr);
+}
+
+double RotatedDistribution::Sample(Rng& rng) const {
+  double x = base_->Sample(rng) + shift_;
+  if (x >= 1.0) x -= 1.0;
+  return x;
+}
+
+double RotatedDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // Y = (X + s) mod 1:  P(Y <= x) = P(X <= x - s) + P(X > 1 - s), i.e. the
+  // mass that wrapped below x plus the unwrapped prefix.
+  const double s = shift_;
+  if (x < s) {
+    return base_->Cdf(1.0 - s + x) - base_->Cdf(1.0 - s);
+  }
+  return base_->Cdf(x - s) + (1.0 - base_->Cdf(1.0 - s));
+}
+
+std::string RotatedDistribution::name() const {
+  return base_->name() + "+rot(" + std::to_string(shift_) + ")";
+}
+
+}  // namespace casper

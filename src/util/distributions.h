@@ -1,0 +1,93 @@
+#ifndef CASPER_UTIL_DISTRIBUTIONS_H_
+#define CASPER_UTIL_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace casper {
+
+/// Abstract sampler over the normalized domain [0, 1). Workload generators
+/// map the unit interval onto key domains or key populations, so the same
+/// distribution objects drive both value-based and rank-based skew.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draw one sample in [0, 1).
+  virtual double Sample(Rng& rng) const = 0;
+  /// P(X <= x) for x in [0, 1]. Enables building Frequency Models from
+  /// statistical workload knowledge without drawing a sample (paper §4.3,
+  /// Fig. 8b).
+  virtual double Cdf(double x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniform over [0, 1).
+class UniformDistribution final : public Distribution {
+ public:
+  double Sample(Rng& rng) const override { return rng.NextDouble(); }
+  double Cdf(double x) const override {
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  }
+  std::string name() const override { return "uniform"; }
+};
+
+/// Zipfian over n ranks, returned as rank/n in [0, 1). Rank 0 is hottest.
+/// Uses the Gray et al. rejection-inversion-free approximation with a
+/// precomputed harmonic normalizer (exact sampling via CDF binary search for
+/// moderate n, capped table size for large n).
+class ZipfDistribution final : public Distribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  std::string name() const override;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf over min(n, kMaxTable) buckets
+  static constexpr uint64_t kMaxTable = 1u << 16;
+};
+
+/// Hotspot: fraction `hot_prob` of samples fall uniformly inside
+/// [hot_start, hot_start + hot_width); the rest are uniform over [0, 1).
+/// Models the paper's "skewed access to more recent data" workloads.
+class HotspotDistribution final : public Distribution {
+ public:
+  HotspotDistribution(double hot_start, double hot_width, double hot_prob);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  std::string name() const override;
+
+  double hot_start() const { return hot_start_; }
+  double hot_width() const { return hot_width_; }
+  double hot_prob() const { return hot_prob_; }
+
+ private:
+  double hot_start_;
+  double hot_width_;
+  double hot_prob_;
+};
+
+/// Rotates another distribution's output by `shift` with wraparound; the
+/// rotational-shift robustness experiment (paper Fig. 16) perturbs workloads
+/// this way.
+class RotatedDistribution final : public Distribution {
+ public:
+  RotatedDistribution(std::shared_ptr<const Distribution> base, double shift);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const Distribution> base_;
+  double shift_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_UTIL_DISTRIBUTIONS_H_

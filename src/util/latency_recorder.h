@@ -1,0 +1,60 @@
+#ifndef CASPER_UTIL_LATENCY_RECORDER_H_
+#define CASPER_UTIL_LATENCY_RECORDER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casper {
+
+/// Collects per-operation latencies (nanoseconds) and reports summary
+/// statistics. The bench harness keeps one recorder per operation class
+/// (Q1..Q6) so Fig. 13/15-style latency breakdowns can be printed.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  void Record(uint64_t nanos) {
+    samples_.push_back(nanos);
+    sum_ += nanos;
+  }
+
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  uint64_t sum_nanos() const { return sum_; }
+
+  double MeanMicros() const {
+    if (samples_.empty()) return 0.0;
+    return static_cast<double>(sum_) / samples_.size() / 1e3;
+  }
+
+  /// q in [0, 1]; e.g. 0.999 for the paper's 99.9th percentile error bars.
+  double PercentileMicros(double q) {
+    if (samples_.empty()) return 0.0;
+    std::vector<uint64_t>& s = samples_;
+    const size_t idx = std::min(s.size() - 1,
+                                static_cast<size_t>(q * static_cast<double>(s.size())));
+    std::nth_element(s.begin(), s.begin() + static_cast<ptrdiff_t>(idx), s.end());
+    return static_cast<double>(s[idx]) / 1e3;
+  }
+
+  double MaxMicros() const {
+    if (samples_.empty()) return 0.0;
+    return static_cast<double>(*std::max_element(samples_.begin(), samples_.end())) / 1e3;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+  }
+
+ private:
+  std::vector<uint64_t> samples_;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_UTIL_LATENCY_RECORDER_H_

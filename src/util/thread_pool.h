@@ -1,0 +1,50 @@
+#ifndef CASPER_UTIL_THREAD_POOL_H_
+#define CASPER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace casper {
+
+/// Fixed-size thread pool. The layout planner partitions column chunks
+/// independently (embarrassingly parallel, paper §6.3); query execution also
+/// fans out across chunks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_UTIL_THREAD_POOL_H_

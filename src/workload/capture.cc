@@ -1,0 +1,114 @@
+#include "workload/capture.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace casper {
+
+WorkloadCapture::WorkloadCapture(const std::vector<Value>& sorted_keys,
+                                 size_t chunk_values, size_t block_values)
+    : WorkloadCapture(
+          sorted_keys,
+          [&] {
+            CASPER_CHECK(chunk_values > 0);
+            std::vector<size_t> counts;
+            size_t remaining = sorted_keys.size();
+            while (remaining > 0) {
+              const size_t take = std::min(remaining, chunk_values);
+              counts.push_back(take);
+              remaining -= take;
+            }
+            return counts;
+          }(),
+          block_values) {}
+
+WorkloadCapture::WorkloadCapture(const std::vector<Value>& sorted_keys,
+                                 std::vector<size_t> chunk_row_counts,
+                                 size_t block_values)
+    : sorted_keys_(sorted_keys),
+      block_values_(block_values),
+      chunk_rows_(std::move(chunk_row_counts)) {
+  CASPER_CHECK(!sorted_keys_.empty());
+  CASPER_CHECK(std::is_sorted(sorted_keys_.begin(), sorted_keys_.end()));
+  CASPER_CHECK(block_values_ > 0);
+  size_t offset = 0;
+  for (const size_t take : chunk_rows_) {
+    CASPER_CHECK(take > 0);
+    chunk_begin_.push_back(offset);
+    const size_t blocks = (take + block_values_ - 1) / block_values_;
+    models_.emplace_back(blocks);
+    offset += take;
+  }
+  CASPER_CHECK_MSG(offset == sorted_keys_.size(),
+                   "chunk counts must cover the dataset");
+}
+
+size_t WorkloadCapture::GlobalPosition(Value v) const {
+  return static_cast<size_t>(
+      std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(), v) -
+      sorted_keys_.begin());
+}
+
+WorkloadCapture::Location WorkloadCapture::Locate(Value v) const {
+  size_t pos = GlobalPosition(v);
+  if (pos >= sorted_keys_.size()) pos = sorted_keys_.size() - 1;
+  size_t chunk = 0;
+  while (chunk + 1 < chunk_begin_.size() && pos >= chunk_begin_[chunk + 1]) ++chunk;
+  const size_t in_chunk = pos - chunk_begin_[chunk];
+  const size_t block =
+      std::min(in_chunk / block_values_, models_[chunk].num_blocks() - 1);
+  return {chunk, block};
+}
+
+void WorkloadCapture::Capture(const Operation& op) {
+  switch (op.kind) {
+    case OpKind::kPointQuery: {
+      const Location l = Locate(op.a);
+      models_[l.chunk].AddPointQuery(l.block);
+      break;
+    }
+    case OpKind::kRangeCount:
+    case OpKind::kRangeSum: {
+      if (op.b <= op.a) break;
+      const Location first = Locate(op.a);
+      const Location last = Locate(op.b - 1);
+      if (first.chunk == last.chunk) {
+        models_[first.chunk].AddRangeQuery(first.block, last.block);
+      } else {
+        // Split across chunks; each chunk sees its own sub-range.
+        models_[first.chunk].AddRangeQuery(
+            first.block, models_[first.chunk].num_blocks() - 1);
+        for (size_t c = first.chunk + 1; c < last.chunk; ++c) {
+          models_[c].AddRangeQuery(0, models_[c].num_blocks() - 1);
+        }
+        models_[last.chunk].AddRangeQuery(0, last.block);
+      }
+      break;
+    }
+    case OpKind::kInsert: {
+      const Location l = Locate(op.a);
+      models_[l.chunk].AddInsert(l.block);
+      break;
+    }
+    case OpKind::kDelete: {
+      const Location l = Locate(op.a);
+      models_[l.chunk].AddDelete(l.block);
+      break;
+    }
+    case OpKind::kUpdate: {
+      const Location from = Locate(op.a);
+      const Location to = Locate(op.b);
+      if (from.chunk == to.chunk) {
+        models_[from.chunk].AddUpdate(from.block, to.block);
+      } else {
+        // Cross-chunk updates execute as delete + insert.
+        models_[from.chunk].AddDelete(from.block);
+        models_[to.chunk].AddInsert(to.block);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace casper

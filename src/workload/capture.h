@@ -1,0 +1,61 @@
+#ifndef CASPER_WORKLOAD_CAPTURE_H_
+#define CASPER_WORKLOAD_CAPTURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/frequency_model.h"
+#include "storage/types.h"
+#include "workload/ops.h"
+
+namespace casper {
+
+/// Builds per-chunk Frequency Models from a sample workload without
+/// executing or materializing anything (paper §4.2: "we capture the access
+/// patterns as if each operation is executed on the initial dataset").
+///
+/// Construction takes the initial dataset sorted by key; every operation's
+/// target values are located by binary search, mapped to (chunk, block), and
+/// recorded in that chunk's histograms. Range queries spanning chunks are
+/// split; updates crossing chunks degrade to delete + insert (each chunk is
+/// an independent sub-problem, paper §6.3).
+class WorkloadCapture {
+ public:
+  WorkloadCapture(const std::vector<Value>& sorted_keys, size_t chunk_values,
+                  size_t block_values);
+
+  /// Explicit (e.g. duplicate-safe) chunk row counts.
+  WorkloadCapture(const std::vector<Value>& sorted_keys,
+                  std::vector<size_t> chunk_row_counts, size_t block_values);
+
+  void Capture(const Operation& op);
+  void CaptureAll(const std::vector<Operation>& ops) {
+    for (const auto& op : ops) Capture(op);
+  }
+
+  const std::vector<FrequencyModel>& models() const { return models_; }
+  std::vector<FrequencyModel>& mutable_models() { return models_; }
+
+  size_t num_chunks() const { return models_.size(); }
+  size_t chunk_rows(size_t c) const { return chunk_rows_[c]; }
+
+ private:
+  struct Location {
+    size_t chunk;
+    size_t block;
+  };
+  /// Chunk/block a key maps to (clamped into the dataset).
+  Location Locate(Value v) const;
+  /// Global sorted position of v (first key >= v).
+  size_t GlobalPosition(Value v) const;
+
+  std::vector<Value> sorted_keys_;
+  size_t block_values_;
+  std::vector<size_t> chunk_rows_;
+  std::vector<size_t> chunk_begin_;  // global row offset of each chunk
+  std::vector<FrequencyModel> models_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_WORKLOAD_CAPTURE_H_

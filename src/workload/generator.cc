@@ -1,0 +1,73 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace casper {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPointQuery:
+      return "Q1-point";
+    case OpKind::kRangeCount:
+      return "Q2-count";
+    case OpKind::kRangeSum:
+      return "Q3-sum";
+    case OpKind::kInsert:
+      return "Q4-insert";
+    case OpKind::kDelete:
+      return "Q5-delete";
+    case OpKind::kUpdate:
+      return "Q6-update";
+  }
+  return "?";
+}
+
+std::vector<Operation> GenerateWorkload(const WorkloadSpec& spec, size_t n, Rng& rng) {
+  CASPER_CHECK_MSG(std::abs(spec.mix.Total() - 1.0) < 1e-6,
+                   "operation mix must sum to 1");
+  CASPER_CHECK(spec.domain_hi > spec.domain_lo);
+  const double cum_pq = spec.mix.point_query;
+  const double cum_rc = cum_pq + spec.mix.range_count;
+  const double cum_rs = cum_rc + spec.mix.range_sum;
+  const double cum_in = cum_rs + spec.mix.insert;
+  const double cum_de = cum_in + spec.mix.del;
+
+  const Value domain_width = spec.domain_hi - spec.domain_lo;
+  const Value range_width = std::max<Value>(
+      1, static_cast<Value>(spec.range_selectivity * static_cast<double>(domain_width)));
+
+  std::vector<Operation> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double pick = rng.NextDouble();
+    Operation op{};
+    if (pick < cum_pq) {
+      op.kind = OpKind::kPointQuery;
+      op.a = spec.MapToDomain(spec.read_target->Sample(rng));
+    } else if (pick < cum_rc || pick < cum_rs) {
+      op.kind = pick < cum_rc ? OpKind::kRangeCount : OpKind::kRangeSum;
+      op.a = spec.MapToDomain(spec.read_target->Sample(rng));
+      op.b = op.a + range_width;
+      if (op.b > spec.domain_hi) {
+        op.a = std::max(spec.domain_lo, spec.domain_hi - range_width);
+        op.b = spec.domain_hi;
+      }
+    } else if (pick < cum_in) {
+      op.kind = OpKind::kInsert;
+      op.a = spec.MapToDomain(spec.write_target->Sample(rng));
+    } else if (pick < cum_de) {
+      op.kind = OpKind::kDelete;
+      op.a = spec.MapToDomain(spec.write_target->Sample(rng));
+    } else {
+      op.kind = OpKind::kUpdate;
+      op.a = spec.MapToDomain(spec.update_target->Sample(rng));
+      op.b = spec.MapToDomain(rng.NextDouble());
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace casper

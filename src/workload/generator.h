@@ -1,0 +1,44 @@
+#ifndef CASPER_WORKLOAD_GENERATOR_H_
+#define CASPER_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "workload/ops.h"
+
+namespace casper {
+
+/// A parameterized workload over a key domain [domain_lo, domain_hi). Reads,
+/// writes and updates can each target a different part of the domain —
+/// Casper's whole point is exploiting exactly that asymmetry (paper §2
+/// "Workload-Driven Decisions", §7.5 robustness experiment).
+struct WorkloadSpec {
+  OperationMix mix;
+  Value domain_lo = 0;
+  Value domain_hi = 1 << 20;
+  /// Where point/range queries land on the normalized domain.
+  std::shared_ptr<const Distribution> read_target =
+      std::make_shared<UniformDistribution>();
+  /// Where inserts/deletes land.
+  std::shared_ptr<const Distribution> write_target =
+      std::make_shared<UniformDistribution>();
+  /// Where updates pick their victim key (the new key is uniform).
+  std::shared_ptr<const Distribution> update_target =
+      std::make_shared<UniformDistribution>();
+  /// Range width as a fraction of the domain (Q2/Q3 selectivity).
+  double range_selectivity = 0.01;
+
+  Value MapToDomain(double unit) const {
+    return domain_lo +
+           static_cast<Value>(unit * static_cast<double>(domain_hi - domain_lo));
+  }
+};
+
+/// Draws `n` operations i.i.d. from the spec. Deterministic given `rng`.
+std::vector<Operation> GenerateWorkload(const WorkloadSpec& spec, size_t n, Rng& rng);
+
+}  // namespace casper
+
+#endif  // CASPER_WORKLOAD_GENERATOR_H_

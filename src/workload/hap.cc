@@ -1,0 +1,138 @@
+#include "workload/hap.h"
+
+#include <memory>
+
+#include "util/status.h"
+
+namespace casper {
+namespace hap {
+
+std::string_view WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kHybridSkewed:
+      return "hybrid,skewed";
+    case Workload::kHybridRangeSkewed:
+      return "hybrid,range,skewed";
+    case Workload::kReadOnlySkewed:
+      return "read-only,skewed";
+    case Workload::kReadOnlyUniform:
+      return "read-only,uniform";
+    case Workload::kUpdateOnlySkewed:
+      return "update-only,skewed";
+    case Workload::kUpdateOnlyUniform:
+      return "update-only,uniform";
+    case Workload::kSlaHybrid:
+      return "sla-hybrid";
+    case Workload::kUdi1:
+      return "UDI1";
+    case Workload::kUdi2:
+      return "UDI2";
+    case Workload::kYcsbA2:
+      return "YCSB-A2";
+  }
+  return "?";
+}
+
+std::vector<Workload> Figure12Workloads() {
+  return {Workload::kHybridSkewed,     Workload::kHybridRangeSkewed,
+          Workload::kReadOnlySkewed,   Workload::kReadOnlyUniform,
+          Workload::kUpdateOnlySkewed, Workload::kUpdateOnlyUniform};
+}
+
+namespace {
+
+std::shared_ptr<const Distribution> RecentSkew() {
+  // "Skewed accesses to more recent data": 90% of operations hit the top 20%
+  // of the key domain.
+  return std::make_shared<HotspotDistribution>(0.8, 0.2, 0.9);
+}
+
+std::shared_ptr<const Distribution> WriteSkew() {
+  // Writes land mostly just below the hot read region (fresh ingest).
+  return std::make_shared<HotspotDistribution>(0.7, 0.3, 0.9);
+}
+
+std::shared_ptr<const Distribution> Uniform() {
+  return std::make_shared<UniformDistribution>();
+}
+
+}  // namespace
+
+WorkloadSpec MakeSpec(Workload w, Value domain_lo, Value domain_hi) {
+  WorkloadSpec spec;
+  spec.domain_lo = domain_lo;
+  spec.domain_hi = domain_hi;
+  spec.range_selectivity = 0.01;
+  switch (w) {
+    case Workload::kHybridSkewed:
+      spec.mix = {.point_query = 0.49, .insert = 0.50, .update = 0.01};
+      spec.read_target = RecentSkew();
+      spec.write_target = WriteSkew();
+      break;
+    case Workload::kHybridRangeSkewed:
+      spec.mix = {.range_sum = 0.49, .insert = 0.50, .update = 0.01};
+      spec.read_target = RecentSkew();
+      spec.write_target = WriteSkew();
+      break;
+    case Workload::kReadOnlySkewed:
+      spec.mix = {.point_query = 0.94, .range_count = 0.05, .update = 0.01};
+      spec.read_target = RecentSkew();
+      break;
+    case Workload::kReadOnlyUniform:
+      spec.mix = {.point_query = 0.94, .range_count = 0.05, .update = 0.01};
+      break;
+    case Workload::kUpdateOnlySkewed:
+      spec.mix = {.insert = 0.80, .del = 0.19, .update = 0.01};
+      spec.write_target = WriteSkew();
+      break;
+    case Workload::kUpdateOnlyUniform:
+      spec.mix = {.insert = 0.80, .del = 0.19, .update = 0.01};
+      break;
+    case Workload::kSlaHybrid:
+      spec.mix = {.point_query = 0.89, .insert = 0.10, .update = 0.01};
+      spec.read_target = RecentSkew();
+      spec.write_target = WriteSkew();
+      break;
+    case Workload::kUdi1:
+      spec.mix = {.insert = 0.70, .del = 0.10, .update = 0.20};
+      spec.write_target = WriteSkew();
+      spec.update_target = WriteSkew();
+      break;
+    case Workload::kUdi2:
+      spec.mix = {.insert = 0.70, .del = 0.10, .update = 0.20};
+      break;
+    case Workload::kYcsbA2: {
+      spec.mix = {.point_query = 0.50, .insert = 0.40, .update = 0.10};
+      auto zipf = std::make_shared<ZipfDistribution>(1u << 20, 0.99);
+      spec.read_target = zipf;
+      spec.write_target = zipf;
+      spec.update_target = Uniform();
+      break;
+    }
+  }
+  return spec;
+}
+
+Dataset MakeDataset(size_t rows, size_t payload_cols, Rng& rng, Value key_domain) {
+  CASPER_CHECK(rows > 0);
+  Dataset d;
+  d.domain_lo = 0;
+  // Default domain: 4x the row count, so point queries miss sometimes and
+  // inserts fall between existing keys.
+  d.domain_hi = key_domain > 0 ? key_domain : static_cast<Value>(rows) * 4;
+  d.keys.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    d.keys.push_back(rng.Range(d.domain_lo, d.domain_hi - 1));
+  }
+  d.payload.resize(payload_cols);
+  for (auto& col : d.payload) {
+    col.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      col.push_back(static_cast<Payload>(rng.Below(10000)));
+    }
+  }
+  return d;
+}
+
+}  // namespace hap
+}  // namespace casper

@@ -1,0 +1,61 @@
+#ifndef CASPER_WORKLOAD_HAP_H_
+#define CASPER_WORKLOAD_HAP_H_
+
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace casper {
+
+/// The Hybrid Access Patterns (HAP) benchmark of paper §7.1: two tables
+/// (narrow: 16 columns, wide: 160 columns), queries Q1–Q6, and the named
+/// workload mixes used throughout the evaluation.
+namespace hap {
+
+/// The named workloads of Fig. 12/13 plus the SLA workload of Fig. 15 and
+/// the ghost-value workloads of Fig. 14.
+enum class Workload {
+  kHybridSkewed,       // Q1 49% / Q4 50% / Q6 1%, skewed to recent data
+  kHybridRangeSkewed,  // Q3 49% / Q4 50% / Q6 1%, skewed
+  kReadOnlySkewed,     // Q1 94% / Q2 5% / Q6 1%, skewed
+  kReadOnlyUniform,    // Q1 94% / Q2 5% / Q6 1%, uniform
+  kUpdateOnlySkewed,   // Q4 80% / Q5 19% / Q6 1%, skewed
+  kUpdateOnlyUniform,  // Q4 80% / Q5 19% / Q6 1%, uniform
+  kSlaHybrid,          // Q1 89% / Q4 10% / Q6 1% (Fig. 15)
+  kUdi1,               // update-intensive, skewed (Fig. 14 "UDI1")
+  kUdi2,               // update-intensive, uniform (Fig. 14 "UDI2")
+  kYcsbA2,             // 50% reads / 50% inserts+updates, zipfian (Fig. 14)
+};
+
+std::string_view WorkloadName(Workload w);
+
+/// All Fig. 12 workloads in paper order.
+std::vector<Workload> Figure12Workloads();
+
+/// The workload spec for a key domain [domain_lo, domain_hi). "Skewed"
+/// concentrates reads on recent data (top of the domain) and writes slightly
+/// below the hot read region, mimicking append-mostly HTAP ingest.
+WorkloadSpec MakeSpec(Workload w, Value domain_lo, Value domain_hi);
+
+/// HAP table generator: `rows` tuples with uniformly distributed integer
+/// keys over [0, key_domain) and `payload_cols` random payload columns
+/// (paper: "datasets of 100M tuples and 16 columns, with uniformly
+/// distributed integer values").
+struct Dataset {
+  std::vector<Value> keys;                      // unsorted
+  std::vector<std::vector<Payload>> payload;    // [col][row]
+  Value domain_lo = 0;
+  Value domain_hi = 0;
+};
+Dataset MakeDataset(size_t rows, size_t payload_cols, Rng& rng,
+                    Value key_domain = 0);
+
+constexpr size_t kNarrowTableColumns = 16;
+constexpr size_t kWideTableColumns = 160;
+
+}  // namespace hap
+}  // namespace casper
+
+#endif  // CASPER_WORKLOAD_HAP_H_

@@ -1,0 +1,48 @@
+#ifndef CASPER_WORKLOAD_OPS_H_
+#define CASPER_WORKLOAD_OPS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace casper {
+
+/// The HAP benchmark's six query classes (paper §7.1). Range queries carry
+/// [a, b); updates move key a to key b; the others use only a.
+enum class OpKind {
+  kPointQuery,  // Q1: SELECT a1..ak WHERE a0 = v
+  kRangeCount,  // Q2: SELECT count(*) WHERE a0 in [vs, ve)
+  kRangeSum,    // Q3: SELECT sum(a1+..+ak) WHERE a0 in [vs, ve)
+  kInsert,      // Q4: INSERT VALUES (...)
+  kDelete,      // Q5: DELETE WHERE a0 = v
+  kUpdate,      // Q6: UPDATE SET a0 = vnew WHERE a0 = v
+};
+
+constexpr int kNumOpKinds = 6;
+
+std::string_view OpKindName(OpKind kind);
+
+struct Operation {
+  OpKind kind;
+  Value a = 0;
+  Value b = 0;
+};
+
+/// Fraction of each operation class in a workload; fractions sum to 1.
+struct OperationMix {
+  double point_query = 0;
+  double range_count = 0;
+  double range_sum = 0;
+  double insert = 0;
+  double del = 0;
+  double update = 0;
+
+  double Total() const {
+    return point_query + range_count + range_sum + insert + del + update;
+  }
+};
+
+}  // namespace casper
+
+#endif  // CASPER_WORKLOAD_OPS_H_

@@ -1,0 +1,35 @@
+#include "workload/perturb.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/status.h"
+
+namespace casper {
+
+WorkloadSpec ApplyRotationalShift(const WorkloadSpec& spec, double shift) {
+  WorkloadSpec out = spec;
+  if (shift == 0.0) return out;
+  out.read_target = std::make_shared<RotatedDistribution>(spec.read_target, shift);
+  out.write_target = std::make_shared<RotatedDistribution>(spec.write_target, shift);
+  out.update_target =
+      std::make_shared<RotatedDistribution>(spec.update_target, shift);
+  return out;
+}
+
+WorkloadSpec ApplyMassShift(const WorkloadSpec& spec, double delta) {
+  WorkloadSpec out = spec;
+  const double moved = std::min(delta > 0 ? spec.mix.point_query : spec.mix.insert,
+                                std::abs(delta));
+  if (delta > 0) {
+    out.mix.point_query -= moved;
+    out.mix.insert += moved;
+  } else {
+    out.mix.insert -= moved;
+    out.mix.point_query += moved;
+  }
+  CASPER_CHECK(out.mix.point_query >= -1e-12 && out.mix.insert >= -1e-12);
+  return out;
+}
+
+}  // namespace casper

@@ -1,0 +1,24 @@
+#ifndef CASPER_WORKLOAD_PERTURB_H_
+#define CASPER_WORKLOAD_PERTURB_H_
+
+#include "workload/generator.h"
+
+namespace casper {
+
+/// Workload-uncertainty transforms for the robustness experiment
+/// (paper §7.5, Fig. 16). The layout is trained on the original spec and
+/// evaluated on a perturbed one.
+
+/// Rotational shift: every operation's target region moves by `shift`
+/// (fraction of the domain) with wraparound. shift=0.10 is the paper's
+/// "10% rotational shift".
+WorkloadSpec ApplyRotationalShift(const WorkloadSpec& spec, double shift);
+
+/// Mass shift: moves `delta` of operation mass from point queries to
+/// inserts (delta > 0) or from inserts to point queries (delta < 0) —
+/// the paper's +/-15%, +/-25% mass-shift lines.
+WorkloadSpec ApplyMassShift(const WorkloadSpec& spec, double delta);
+
+}  // namespace casper
+
+#endif  // CASPER_WORKLOAD_PERTURB_H_

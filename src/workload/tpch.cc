@@ -1,0 +1,31 @@
+#include "workload/tpch.h"
+
+#include "util/status.h"
+
+namespace casper {
+namespace tpch {
+
+Lineitem MakeLineitem(size_t rows, Rng& rng, Value date_scale) {
+  CASPER_CHECK(rows > 0 && date_scale > 0);
+  Lineitem t;
+  t.shipdate.reserve(rows);
+  t.payload.assign(3, {});
+  for (auto& col : t.payload) col.reserve(rows);
+  const Value key_domain = kDateDomainDays * date_scale;
+  for (size_t i = 0; i < rows; ++i) {
+    t.shipdate.push_back(rng.Range(0, key_domain - 1));
+    t.payload[0].push_back(static_cast<Payload>(1 + rng.Below(50)));    // quantity
+    t.payload[1].push_back(static_cast<Payload>(rng.Below(11)));        // discount %
+    t.payload[2].push_back(static_cast<Payload>(901 + rng.Below(104050)));  // price
+  }
+  return t;
+}
+
+Q6Bounds RandomQ6Bounds(Rng& rng, Value date_scale) {
+  // One calendar year starting at a random day in the first six years.
+  const Value start_day = static_cast<Value>(rng.Below(6 * 365));
+  return {start_day * date_scale, (start_day + 365) * date_scale};
+}
+
+}  // namespace tpch
+}  // namespace casper

@@ -1,0 +1,179 @@
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/frequency_model.h"
+
+namespace casper {
+namespace {
+
+// The paper's Fig. 7 walks one concrete dataset (16 values, block size 2,
+// 8 blocks) through each operation. These tests are those examples, literally.
+//
+// Data: 3 1 5 4 | 7 8 15 18 | 20 19 32 55 | 65 67 82 95, blocks of 2.
+// Value -> block: 4 is in block 1; ranges are given in block coordinates.
+
+TEST(FrequencyModel, Fig7aPointQuery) {
+  FrequencyModel fm(8);
+  fm.AddPointQuery(1);  // PQ looking for value 4
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(fm.pq()[i], i == 1 ? 1.0 : 0.0) << "bin " << i;
+  }
+  EXPECT_DOUBLE_EQ(fm.total_operations(), 1.0);
+}
+
+TEST(FrequencyModel, Fig7bRangeQuery4To19) {
+  FrequencyModel fm(8);
+  fm.AddRangeQuery(1, 4);  // starts block 1, scans 2 and 3, ends block 4
+  EXPECT_DOUBLE_EQ(fm.rs()[1], 1.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[2], 1.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[3], 1.0);
+  EXPECT_DOUBLE_EQ(fm.re()[4], 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(fm.rs().begin(), fm.rs().end(), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(fm.sc().begin(), fm.sc().end(), 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(fm.re().begin(), fm.re().end(), 0.0), 1.0);
+}
+
+TEST(FrequencyModel, Fig7cSecondRangeQueryAccumulates) {
+  FrequencyModel fm(8);
+  fm.AddRangeQuery(1, 4);  // range [4, 19]
+  fm.AddRangeQuery(0, 6);  // range [2, 66]: rs0, sc1..sc5, re6
+  EXPECT_DOUBLE_EQ(fm.rs()[0], 1.0);
+  EXPECT_DOUBLE_EQ(fm.rs()[1], 1.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[1], 1.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[2], 2.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[3], 2.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[4], 1.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[5], 1.0);
+  EXPECT_DOUBLE_EQ(fm.re()[4], 1.0);
+  EXPECT_DOUBLE_EQ(fm.re()[6], 1.0);
+}
+
+TEST(FrequencyModel, Fig7dDelete) {
+  FrequencyModel fm(8);
+  fm.AddDelete(5);  // deleting value 32 (block 5)
+  EXPECT_DOUBLE_EQ(fm.de()[5], 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(fm.de().begin(), fm.de().end(), 0.0), 1.0);
+}
+
+TEST(FrequencyModel, Fig7eInsert) {
+  FrequencyModel fm(8);
+  fm.AddInsert(3);  // inserting 16 lands in block 3
+  EXPECT_DOUBLE_EQ(fm.in()[3], 1.0);
+}
+
+TEST(FrequencyModel, Fig7fForwardUpdate) {
+  FrequencyModel fm(8);
+  fm.AddUpdate(0, 3);  // updating 3 -> 16: udf0, utf3
+  EXPECT_DOUBLE_EQ(fm.udf()[0], 1.0);
+  EXPECT_DOUBLE_EQ(fm.utf()[3], 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(fm.udb().begin(), fm.udb().end(), 0.0), 0.0);
+}
+
+TEST(FrequencyModel, Fig7gBackwardUpdate) {
+  FrequencyModel fm(8);
+  fm.AddUpdate(5, 3);  // updating 55 -> 17: udb5, utb3
+  EXPECT_DOUBLE_EQ(fm.udb()[5], 1.0);
+  EXPECT_DOUBLE_EQ(fm.utb()[3], 1.0);
+}
+
+TEST(FrequencyModel, SameBlockUpdateIsBackwardByConvention) {
+  FrequencyModel fm(8);
+  fm.AddUpdate(2, 2);
+  EXPECT_DOUBLE_EQ(fm.udb()[2], 1.0);
+  EXPECT_DOUBLE_EQ(fm.utb()[2], 1.0);
+  EXPECT_DOUBLE_EQ(fm.udf()[2], 0.0);
+}
+
+TEST(FrequencyModel, SingleBlockRangeTouchesStartAndEnd) {
+  FrequencyModel fm(4);
+  fm.AddRangeQuery(2, 2);
+  EXPECT_DOUBLE_EQ(fm.rs()[2], 1.0);
+  EXPECT_DOUBLE_EQ(fm.re()[2], 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(fm.sc().begin(), fm.sc().end(), 0.0), 0.0);
+}
+
+TEST(FrequencyModel, MergeAddsHistogramsAndOps) {
+  FrequencyModel a(4), b(4);
+  a.AddPointQuery(0);
+  a.AddInsert(2);
+  b.AddPointQuery(0);
+  b.AddDelete(3);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.pq()[0], 2.0);
+  EXPECT_DOUBLE_EQ(a.in()[2], 1.0);
+  EXPECT_DOUBLE_EQ(a.de()[3], 1.0);
+  EXPECT_DOUBLE_EQ(a.total_operations(), 4.0);
+}
+
+TEST(FrequencyModel, ScaleMultipliesMass) {
+  FrequencyModel fm(4);
+  fm.AddPointQuery(1);
+  fm.AddRangeQuery(0, 3);
+  fm.Scale(2.5);
+  EXPECT_DOUBLE_EQ(fm.pq()[1], 2.5);
+  EXPECT_DOUBLE_EQ(fm.rs()[0], 2.5);
+  EXPECT_DOUBLE_EQ(fm.total_operations(), 5.0);
+}
+
+TEST(FrequencyModel, RescaleCoarsensPreservingMass) {
+  FrequencyModel fm(8);
+  for (size_t b = 0; b < 8; ++b) fm.AddPointQuery(b);
+  fm.AddInsert(7);
+  FrequencyModel half = fm.Rescale(4);
+  EXPECT_EQ(half.num_blocks(), 4u);
+  double mass = std::accumulate(half.pq().begin(), half.pq().end(), 0.0);
+  EXPECT_NEAR(mass, 8.0, 1e-9);
+  EXPECT_NEAR(half.pq()[0], 2.0, 1e-9);  // blocks 0+1
+  EXPECT_NEAR(half.in()[3], 1.0, 1e-9);  // block 7 maps to coarse bin 3
+}
+
+TEST(FrequencyModel, RescaleRefinesPreservingMass) {
+  FrequencyModel fm(4);
+  fm.AddPointQuery(1);
+  FrequencyModel fine = fm.Rescale(8);
+  EXPECT_EQ(fine.num_blocks(), 8u);
+  // Bin 1 of 4 covers fine bins 2 and 3, split evenly.
+  EXPECT_NEAR(fine.pq()[2], 0.5, 1e-9);
+  EXPECT_NEAR(fine.pq()[3], 0.5, 1e-9);
+  double mass = std::accumulate(fine.pq().begin(), fine.pq().end(), 0.0);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(FrequencyModel, EmptyDetection) {
+  FrequencyModel fm(4);
+  EXPECT_TRUE(fm.Empty());
+  fm.AddInsert(0);
+  EXPECT_FALSE(fm.Empty());
+}
+
+class RescaleRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RescaleRoundTrip, MassIsInvariant) {
+  const size_t target = GetParam();
+  FrequencyModel fm(12);
+  fm.AddRangeQuery(2, 9);
+  fm.AddPointQuery(5);
+  fm.AddUpdate(1, 10);
+  fm.AddDelete(4);
+  fm.AddInsert(11);
+  FrequencyModel scaled = fm.Rescale(target);
+  auto mass = [](const std::vector<double>& h) {
+    return std::accumulate(h.begin(), h.end(), 0.0);
+  };
+  EXPECT_NEAR(mass(scaled.pq()), mass(fm.pq()), 1e-9);
+  EXPECT_NEAR(mass(scaled.rs()), mass(fm.rs()), 1e-9);
+  EXPECT_NEAR(mass(scaled.sc()), mass(fm.sc()), 1e-9);
+  EXPECT_NEAR(mass(scaled.re()), mass(fm.re()), 1e-9);
+  EXPECT_NEAR(mass(scaled.de()), mass(fm.de()), 1e-9);
+  EXPECT_NEAR(mass(scaled.in()), mass(fm.in()), 1e-9);
+  EXPECT_NEAR(mass(scaled.udf()), mass(fm.udf()), 1e-9);
+  EXPECT_NEAR(mass(scaled.utf()), mass(fm.utf()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, RescaleRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 6, 12, 24, 48, 100));
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,378 @@
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/harness.h"
+#include "layouts/delta_store.h"
+#include "layouts/layout_factory.h"
+#include "layouts/partitioned.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/hap.h"
+
+namespace casper {
+namespace {
+
+constexpr LayoutMode kAllModes[] = {
+    LayoutMode::kNoOrder,      LayoutMode::kSorted,
+    LayoutMode::kDeltaStore,   LayoutMode::kEquiWidth,
+    LayoutMode::kEquiWidthGhost, LayoutMode::kCasper,
+};
+
+LayoutBuildOptions SmallOptions(LayoutMode mode) {
+  LayoutBuildOptions opts;
+  opts.mode = mode;
+  opts.chunk_values = 2048;  // several chunks on small data
+  opts.block_values = 64;
+  opts.equi_partitions = 16;
+  opts.ghost_fraction = 0.01;
+  opts.delta_min_merge_rows = 128;
+  return opts;
+}
+
+struct TestData {
+  std::vector<Value> keys;
+  std::vector<std::vector<Payload>> payload;
+  std::vector<Operation> training;
+  WorkloadSpec spec;
+};
+
+TestData MakeData(size_t rows, size_t cols, uint64_t seed,
+                  hap::Workload w = hap::Workload::kHybridSkewed) {
+  Rng rng(seed);
+  auto ds = hap::MakeDataset(rows, cols, rng);
+  TestData d;
+  d.keys = std::move(ds.keys);
+  d.payload = std::move(ds.payload);
+  d.spec = hap::MakeSpec(w, ds.domain_lo, ds.domain_hi);
+  d.training = GenerateWorkload(d.spec, 2000, rng);
+  return d;
+}
+
+TEST(LayoutFactory, BuildsEveryMode) {
+  TestData d = MakeData(5000, 3, 42);
+  for (const LayoutMode mode : kAllModes) {
+    auto opts = SmallOptions(mode);
+    opts.training = &d.training;
+    auto engine = BuildLayout(opts, d.keys, d.payload);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->mode(), mode);
+    EXPECT_EQ(engine->num_rows(), 5000u);
+    EXPECT_EQ(engine->num_payload_columns(), 3u);
+    engine->ValidateInvariants();
+  }
+}
+
+TEST(LayoutFactory, DuplicateSafeChunkCounts) {
+  std::vector<Value> keys = {1, 1, 2, 2, 2, 2, 3, 4};
+  // chunk_values = 4 would cut inside the run of 2s; the cut must slide.
+  auto counts = DuplicateSafeChunkCounts(keys, 4);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 6u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+// Every layout must return identical answers on identical data + ops.
+class LayoutOracle : public ::testing::TestWithParam<LayoutMode> {};
+
+TEST_P(LayoutOracle, AgreesWithReferenceModel) {
+  const LayoutMode mode = GetParam();
+  TestData d = MakeData(4000, 2, 7);
+  // Key-derived payloads: duplicate keys carry identical payloads, so the
+  // "delete any one duplicate" freedom cannot diverge aggregates.
+  for (size_t c = 0; c < d.payload.size(); ++c) {
+    for (size_t i = 0; i < d.keys.size(); ++i) {
+      d.payload[c][i] =
+          static_cast<Payload>((static_cast<uint64_t>(d.keys[i]) * (c + 1)) % 10000);
+    }
+  }
+  auto opts = SmallOptions(mode);
+  opts.training = &d.training;
+  auto engine = BuildLayout(opts, d.keys, d.payload);
+
+  // Reference: multimap key -> payload0.
+  std::multimap<Value, Payload> oracle;
+  for (size_t i = 0; i < d.keys.size(); ++i) oracle.emplace(d.keys[i], d.payload[0][i]);
+
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const Value v = rng.Range(d.spec.domain_lo - 100, d.spec.domain_hi + 100);
+    switch (rng.Below(6)) {
+      case 0: {  // point query
+        ASSERT_EQ(engine->PointLookup(v, nullptr), oracle.count(v)) << "v=" << v;
+        break;
+      }
+      case 1: {  // range count
+        const Value w = v + rng.Range(0, 2000);
+        size_t expect = 0;
+        for (auto it = oracle.lower_bound(v); it != oracle.end() && it->first < w;
+             ++it) {
+          ++expect;
+        }
+        ASSERT_EQ(engine->CountRange(v, w), expect);
+        break;
+      }
+      case 2: {  // range sum over payload col 0
+        const Value w = v + rng.Range(0, 2000);
+        int64_t expect = 0;
+        for (auto it = oracle.lower_bound(v); it != oracle.end() && it->first < w;
+             ++it) {
+          expect += it->second;
+        }
+        ASSERT_EQ(engine->SumPayloadRange(v, w, {0}), expect);
+        break;
+      }
+      case 3: {  // insert
+        const Payload p =
+            static_cast<Payload>(static_cast<uint64_t>(v < 0 ? -v : v) % 10000);
+        const Payload p2 =
+            static_cast<Payload>((static_cast<uint64_t>(v < 0 ? -v : v) * 2) % 10000);
+        engine->Insert(v, {p, p2});
+        oracle.emplace(v, p);
+        break;
+      }
+      case 4: {  // delete
+        const size_t deleted = engine->Delete(v);
+        auto it = oracle.find(v);
+        if (it != oracle.end()) {
+          // Layouts may delete any one matching row; payload col0 of all
+          // duplicates is identical only when inserted equal. We only check
+          // cardinality here.
+          ASSERT_EQ(deleted, 1u);
+          oracle.erase(it);
+        } else {
+          ASSERT_EQ(deleted, 0u);
+        }
+        break;
+      }
+      default: {  // key move as delete + reinsert (keeps the per-key payload
+                  // uniformity this oracle's sum checks rely on; the direct
+                  // ripple-update path is covered by the chunk fuzz tests)
+        const Value w = rng.Range(d.spec.domain_lo, d.spec.domain_hi);
+        auto it = oracle.find(v);
+        if (it != oracle.end()) {
+          ASSERT_EQ(engine->Delete(v), 1u);
+          oracle.erase(it);
+          const Payload p =
+              static_cast<Payload>(static_cast<uint64_t>(w < 0 ? -w : w) % 10000);
+          const Payload p2 = static_cast<Payload>(
+              (static_cast<uint64_t>(w < 0 ? -w : w) * 2) % 10000);
+          engine->Insert(w, {p, p2});
+          oracle.emplace(w, p);
+        } else {
+          ASSERT_EQ(engine->Delete(v), 0u);
+        }
+      }
+    }
+  }
+  engine->ValidateInvariants();
+  EXPECT_EQ(engine->num_rows(), oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LayoutOracle, ::testing::ValuesIn(kAllModes));
+
+TEST(LayoutOracleCross, AllModesProduceIdenticalChecksums) {
+  TestData d = MakeData(6000, 3, 11);
+  for (size_t c = 0; c < d.payload.size(); ++c) {
+    for (size_t i = 0; i < d.keys.size(); ++i) {
+      d.payload[c][i] =
+          static_cast<Payload>((static_cast<uint64_t>(d.keys[i]) * (c + 1)) % 10000);
+    }
+  }
+  Rng rng(5);
+  auto ops = GenerateWorkload(d.spec, 4000, rng);
+  HarnessOptions hopts;
+  hopts.key_derived_payload = true;
+  uint64_t reference = 0;
+  bool first = true;
+  for (const LayoutMode mode : kAllModes) {
+    auto opts = SmallOptions(mode);
+    opts.training = &d.training;
+    auto engine = BuildLayout(opts, d.keys, d.payload);
+    HarnessResult r = RunWorkload(*engine, ops, hopts);
+    if (first) {
+      reference = r.checksum;
+      first = false;
+    } else {
+      EXPECT_EQ(r.checksum, reference) << LayoutModeName(mode);
+    }
+    engine->ValidateInvariants();
+  }
+}
+
+TEST(DeltaStore, MergesWhenDeltaFills) {
+  std::vector<Value> keys;
+  for (Value v = 0; v < 1000; ++v) keys.push_back(v * 2);
+  DeltaStoreLayout::Options dopts;
+  dopts.merge_fraction = 0.05;
+  dopts.min_merge_rows = 16;
+  DeltaStoreLayout ds(keys, {}, dopts);
+  EXPECT_EQ(ds.merge_count(), 0u);
+  for (Value v = 0; v < 200; ++v) ds.Insert(v * 2 + 1, {});
+  EXPECT_GT(ds.merge_count(), 0u);
+  EXPECT_EQ(ds.num_rows(), 1200u);
+  ds.ValidateInvariants();
+  // All data visible post-merge.
+  EXPECT_EQ(ds.CountRange(0, 4000), 1200u);
+}
+
+TEST(DeltaStore, TombstonesHideMainRows) {
+  std::vector<Value> keys = {1, 2, 3, 4, 5};
+  DeltaStoreLayout ds(keys, {});
+  EXPECT_EQ(ds.Delete(3), 1u);
+  EXPECT_EQ(ds.PointLookup(3, nullptr), 0u);
+  EXPECT_EQ(ds.CountRange(1, 6), 4u);
+  EXPECT_EQ(ds.Delete(3), 0u);  // already gone
+  ds.Merge();
+  EXPECT_EQ(ds.CountRange(1, 6), 4u);
+  ds.ValidateInvariants();
+}
+
+TEST(DeltaStore, UpdateMovesRowWithPayload) {
+  std::vector<Value> keys = {10, 20, 30};
+  std::vector<std::vector<Payload>> payload = {{100, 200, 300}};
+  DeltaStoreLayout ds(keys, payload);
+  EXPECT_TRUE(ds.UpdateKey(20, 25));
+  std::vector<Payload> row;
+  EXPECT_EQ(ds.PointLookup(25, &row), 1u);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], 200u);
+  EXPECT_EQ(ds.PointLookup(20, nullptr), 0u);
+}
+
+TEST(PartitionedLayout, PayloadFollowsRowsThroughRipples) {
+  // Build a ghostless partitioned table and force cross-partition ripples;
+  // payload must stay attached to its key.
+  std::vector<Value> keys;
+  std::vector<std::vector<Payload>> payload(1);
+  for (Value v = 0; v < 64; ++v) {
+    keys.push_back(v * 10);
+    payload[0].push_back(static_cast<Payload>(v * 10 + 7));  // payload = key+7
+  }
+  LayoutBuildOptions opts = SmallOptions(LayoutMode::kEquiWidth);
+  opts.equi_partitions = 8;
+  auto engine = BuildLayout(opts, keys, payload);
+
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Value v = rng.Range(0, 700);
+    switch (rng.Below(3)) {
+      case 0:
+        engine->Insert(v, {static_cast<Payload>(v + 7)});
+        break;
+      case 1:
+        engine->Delete(v);
+        break;
+      default: {
+        // Update key and re-attach the matching payload convention by
+        // checking before/after.
+        std::vector<Payload> row;
+        if (engine->PointLookup(v, &row) > 0) {
+          ASSERT_EQ(row[0], static_cast<Payload>(v + 7)) << "payload detached";
+          // Put it back where the convention still holds.
+          engine->Delete(v);
+          engine->Insert(v, {static_cast<Payload>(v + 7)});
+        }
+      }
+    }
+  }
+  // Every remaining row still satisfies payload == key + 7.
+  for (Value v = 0; v < 700; ++v) {
+    std::vector<Payload> row;
+    if (engine->PointLookup(v, &row) > 0) {
+      ASSERT_EQ(row[0], static_cast<Payload>(v + 7)) << "v=" << v;
+    }
+  }
+  engine->ValidateInvariants();
+}
+
+TEST(PartitionedLayout, UpdateCarriesPayloadAcrossPartitions) {
+  std::vector<Value> keys;
+  std::vector<std::vector<Payload>> payload(2);
+  for (Value v = 0; v < 64; ++v) {
+    keys.push_back(v * 100);
+    payload[0].push_back(static_cast<Payload>(v));
+    payload[1].push_back(static_cast<Payload>(v * 3));
+  }
+  LayoutBuildOptions opts = SmallOptions(LayoutMode::kEquiWidthGhost);
+  opts.equi_partitions = 8;
+  auto engine = BuildLayout(opts, keys, payload);
+  // Move key 100 (payload {1, 3}) across the domain.
+  EXPECT_TRUE(engine->UpdateKey(100, 6050));
+  std::vector<Payload> row;
+  ASSERT_EQ(engine->PointLookup(6050, &row), 1u);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 3u);
+  engine->ValidateInvariants();
+}
+
+TEST(Layouts, GhostValuesReduceInsertMovement) {
+  TestData d = MakeData(20000, 0, 13, hap::Workload::kUpdateOnlyUniform);
+  Rng rng(17);
+  // ~800 inserts against a 5% (1000-slot) ghost budget: most inserts should
+  // find a local free slot, while the dense layout ripples for each one.
+  auto ops = GenerateWorkload(d.spec, 1000, rng);
+
+  auto run = [&](LayoutMode mode, double ghost_fraction) {
+    auto opts = SmallOptions(mode);
+    opts.ghost_fraction = ghost_fraction;
+    opts.training = &d.training;
+    auto engine = BuildLayout(opts, d.keys, d.payload);
+    RunWorkload(*engine, ops);
+    auto* pl = dynamic_cast<PartitionedLayout*>(engine.get());
+    uint64_t ripples = 0;
+    for (size_t c = 0; c < pl->table().num_chunks(); ++c) {
+      ripples += pl->table().key_chunk(c).stats().ripple_steps;
+    }
+    return ripples;
+  };
+  const uint64_t dense_ripples = run(LayoutMode::kEquiWidth, 0.0);
+  const uint64_t ghost_ripples = run(LayoutMode::kEquiWidthGhost, 0.05);
+  EXPECT_LT(ghost_ripples, dense_ripples / 2) << "ghost values should absorb ripples";
+}
+
+TEST(Layouts, MemoryAmplificationReflectsGhosts) {
+  TestData d = MakeData(10000, 1, 23);
+  auto opts = SmallOptions(LayoutMode::kEquiWidthGhost);
+  opts.ghost_fraction = 0.10;
+  auto engine = BuildLayout(opts, d.keys, d.payload);
+  const auto stats = engine->MemoryStats();
+  EXPECT_GT(stats.Amplification(), 1.05);
+  EXPECT_LT(stats.Amplification(), 1.25);
+}
+
+TEST(Layouts, CasperUsesTrainingSkew) {
+  // Reads hit the top of the domain, inserts the bottom; Casper should give
+  // the read-hot region narrower partitions than the write-hot region.
+  const size_t rows = 32768;
+  Rng rng(31);
+  auto ds = hap::MakeDataset(rows, 0, rng);
+  WorkloadSpec spec;
+  spec.domain_lo = ds.domain_lo;
+  spec.domain_hi = ds.domain_hi;
+  spec.mix = {.point_query = 0.5, .insert = 0.5};
+  spec.read_target = std::make_shared<HotspotDistribution>(0.75, 0.25, 1.0);
+  spec.write_target = std::make_shared<HotspotDistribution>(0.0, 0.25, 1.0);
+  auto training = GenerateWorkload(spec, 5000, rng);
+
+  LayoutBuildOptions opts = SmallOptions(LayoutMode::kCasper);
+  opts.chunk_values = rows;  // single chunk
+  opts.block_values = 256;
+  opts.equi_partitions = 32;
+  opts.training = &training;
+  auto engine = BuildLayout(opts, ds.keys, ds.payload);
+  auto* pl = dynamic_cast<PartitionedLayout*>(engine.get());
+  ASSERT_NE(pl, nullptr);
+  const auto& chunk = pl->table().key_chunk(0);
+  // Partition width at the hot-read end vs the hot-write end.
+  const auto& first = chunk.partition(0);
+  const auto& last = chunk.partition(chunk.num_partitions() - 1);
+  EXPECT_GT(first.cap, last.cap)
+      << "write-hot head should be coarse, read-hot tail fine";
+}
+
+}  // namespace
+}  // namespace casper

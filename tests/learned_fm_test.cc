@@ -1,0 +1,178 @@
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/learned_fm.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "workload/capture.h"
+#include "workload/generator.h"
+
+namespace casper {
+namespace {
+
+TEST(DistributionCdf, UniformIsIdentity) {
+  UniformDistribution u;
+  EXPECT_DOUBLE_EQ(u.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.Cdf(0.37), 0.37);
+  EXPECT_DOUBLE_EQ(u.Cdf(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.Cdf(2.0), 1.0);
+}
+
+TEST(DistributionCdf, HotspotMatchesConstruction) {
+  HotspotDistribution h(0.8, 0.2, 0.9);
+  // Below the hot region only the 10% uniform background accumulates.
+  EXPECT_NEAR(h.Cdf(0.8), 0.1 * 0.8, 1e-12);
+  // Half the hot region adds 45%.
+  EXPECT_NEAR(h.Cdf(0.9), 0.1 * 0.9 + 0.45, 1e-12);
+  EXPECT_NEAR(h.Cdf(1.0), 1.0, 1e-12);
+}
+
+TEST(DistributionCdf, WrappingHotspot) {
+  HotspotDistribution h(0.9, 0.2, 1.0);  // hot region [0.9, 1.1) wraps
+  EXPECT_NEAR(h.Cdf(0.1), 0.5, 1e-12);   // the wrapped half
+  EXPECT_NEAR(h.Cdf(0.9), 0.5, 1e-12);   // nothing between 0.1 and 0.9
+  EXPECT_NEAR(h.Cdf(0.95), 0.75, 1e-12);
+}
+
+// Property: Cdf agrees with empirical sampling for every distribution type.
+class CdfVsSampling : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfVsSampling, Agree) {
+  std::shared_ptr<const Distribution> dist;
+  switch (GetParam()) {
+    case 0:
+      dist = std::make_shared<UniformDistribution>();
+      break;
+    case 1:
+      dist = std::make_shared<HotspotDistribution>(0.7, 0.3, 0.9);
+      break;
+    case 2:
+      dist = std::make_shared<ZipfDistribution>(1u << 16, 0.99);
+      break;
+    default:
+      dist = std::make_shared<RotatedDistribution>(
+          std::make_shared<HotspotDistribution>(0.8, 0.2, 0.95), 0.37);
+  }
+  Rng rng(99);
+  const int n = 40000;
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = dist->Sample(rng);
+  for (const double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double empirical =
+        static_cast<double>(std::count_if(samples.begin(), samples.end(),
+                                          [&](double s) { return s <= x; })) /
+        n;
+    EXPECT_NEAR(dist->Cdf(x), empirical, 0.015) << dist->name() << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, CdfVsSampling, ::testing::Range(0, 4));
+
+TEST(LearnedFm, MassMatchesExpectedCounts) {
+  std::vector<Value> keys(10000);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadSpec spec;
+  spec.domain_lo = 0;
+  spec.domain_hi = 10000;
+  spec.mix = {.point_query = 0.4, .range_count = 0.1, .insert = 0.3, .del = 0.1,
+              .update = 0.1};
+  FrequencyModel fm = LearnFrequencyModel(keys, 500, spec, 1000.0);
+  auto mass = [](const std::vector<double>& h) {
+    return std::accumulate(h.begin(), h.end(), 0.0);
+  };
+  EXPECT_NEAR(mass(fm.pq()), 400.0, 1.0);
+  EXPECT_NEAR(mass(fm.rs()), 100.0, 1.0);
+  EXPECT_NEAR(mass(fm.in()), 300.0, 1.0);
+  EXPECT_NEAR(mass(fm.de()), 100.0, 1.0);
+  EXPECT_NEAR(mass(fm.udf()) + mass(fm.udb()), 100.0, 1.5);
+  // The analytic target-mass model drops the same-block diagonal (an update
+  // landing in its own block needs no ripple), so utf+utb is slightly below
+  // the update count: 100 * (1 - sum_b w_b * m_b) = 95 for 20 uniform blocks.
+  EXPECT_NEAR(mass(fm.utf()) + mass(fm.utb()), 95.0, 1.5);
+}
+
+TEST(LearnedFm, SkewConcentratesPointQueryMass) {
+  std::vector<Value> keys(8192);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadSpec spec;
+  spec.domain_lo = 0;
+  spec.domain_hi = 8192;
+  spec.mix = {.point_query = 1.0};
+  spec.read_target = std::make_shared<HotspotDistribution>(0.75, 0.25, 0.9);
+  FrequencyModel fm = LearnFrequencyModel(keys, 1024, spec, 1000.0);
+  // Blocks 6 and 7 cover the hot quarter: 90% hot mass plus their 2/8 share
+  // of the 10% uniform background = 925.
+  const double hot = fm.pq()[6] + fm.pq()[7];
+  EXPECT_NEAR(hot, 925.0, 10.0);
+}
+
+TEST(LearnedFm, AgreesWithSampledCaptureOnAverage) {
+  // The analytic model should match a large sampled capture bin-by-bin.
+  const size_t rows = 16384;
+  std::vector<Value> keys(rows);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadSpec spec;
+  spec.domain_lo = 0;
+  spec.domain_hi = static_cast<Value>(rows);
+  spec.mix = {.point_query = 0.5, .insert = 0.5};
+  spec.read_target = std::make_shared<HotspotDistribution>(0.5, 0.5, 0.8);
+
+  const double total_ops = 40000;
+  FrequencyModel learned = LearnFrequencyModel(keys, 2048, spec, total_ops);
+
+  Rng rng(5);
+  auto ops = GenerateWorkload(spec, static_cast<size_t>(total_ops), rng);
+  WorkloadCapture cap(keys, rows, 2048);
+  cap.CaptureAll(ops);
+  const FrequencyModel& sampled = cap.models()[0];
+
+  ASSERT_EQ(learned.num_blocks(), sampled.num_blocks());
+  for (size_t b = 0; b < learned.num_blocks(); ++b) {
+    EXPECT_NEAR(learned.pq()[b], sampled.pq()[b], total_ops * 0.01)
+        << "pq block " << b;
+    EXPECT_NEAR(learned.in()[b], sampled.in()[b], total_ops * 0.01)
+        << "in block " << b;
+  }
+}
+
+TEST(LearnedFm, RangeScanMassCoversInteriorBlocks) {
+  std::vector<Value> keys(10000);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadSpec spec;
+  spec.domain_lo = 0;
+  spec.domain_hi = 10000;
+  spec.mix = {.range_count = 1.0};
+  spec.range_selectivity = 0.30;  // ranges span ~3 of 10 blocks
+  FrequencyModel fm = LearnFrequencyModel(keys, 1000, spec, 1000.0);
+  // Interior blocks must carry scan mass; the first block cannot be interior.
+  EXPECT_GT(fm.sc()[4], 100.0);
+  EXPECT_DOUBLE_EQ(fm.sc()[0], 0.0);
+}
+
+TEST(LearnedFm, MultiChunkSplitsByRows) {
+  std::vector<Value> keys(6000);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadSpec spec;
+  spec.domain_lo = 0;
+  spec.domain_hi = 6000;
+  spec.mix = {.point_query = 1.0};
+  auto models = LearnFrequencyModels(keys, {2000, 4000}, 500, spec, 600.0);
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].num_blocks(), 4u);
+  EXPECT_EQ(models[1].num_blocks(), 8u);
+  auto mass = [](const FrequencyModel& fm) {
+    double m = 0;
+    for (const double v : fm.pq()) m += v;
+    return m;
+  };
+  // Uniform reads: mass proportional to chunk key coverage (1/3 vs 2/3).
+  EXPECT_NEAR(mass(models[0]), 200.0, 2.0);
+  EXPECT_NEAR(mass(models[1]), 400.0, 2.0);
+}
+
+}  // namespace
+}  // namespace casper

@@ -1,0 +1,371 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "model/frequency_model.h"
+#include "optimizer/bip.h"
+#include "optimizer/dp_solver.h"
+#include "optimizer/ghost_allocation.h"
+#include "optimizer/layout_planner.h"
+#include "optimizer/partitioning.h"
+#include "optimizer/sla.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace casper {
+namespace {
+
+AccessCostConstants PaperConstants() {
+  AccessCostConstants c;
+  c.rr = 100.0;
+  c.rw = 100.0;
+  c.sr = 100.0 / 14.0;
+  c.sw = 100.0 / 14.0;
+  return c;
+}
+
+FrequencyModel RandomModel(size_t n, uint64_t seed) {
+  FrequencyModel fm(n);
+  Rng rng(seed);
+  const size_t ops = 60 + rng.Below(120);
+  for (size_t o = 0; o < ops; ++o) {
+    switch (rng.Below(5)) {
+      case 0:
+        fm.AddPointQuery(rng.Below(n));
+        break;
+      case 1: {
+        size_t a = rng.Below(n), b = rng.Below(n);
+        fm.AddRangeQuery(std::min(a, b), std::max(a, b));
+        break;
+      }
+      case 2:
+        fm.AddInsert(rng.Below(n));
+        break;
+      case 3:
+        fm.AddDelete(rng.Below(n));
+        break;
+      default:
+        fm.AddUpdate(rng.Below(n), rng.Below(n));
+    }
+  }
+  return fm;
+}
+
+TEST(Partitioning, BasicRepresentation) {
+  Partitioning p = Partitioning::FromWidths({3, 2, 1, 2});
+  EXPECT_EQ(p.num_blocks(), 8u);
+  EXPECT_EQ(p.NumPartitions(), 4u);
+  EXPECT_EQ(p.PartitionWidths(), (std::vector<size_t>{3, 2, 1, 2}));
+  EXPECT_EQ(p.PartitionStarts(), (std::vector<size_t>{0, 3, 5, 6}));
+  EXPECT_EQ(p.PartitionOfBlock(0), 0u);
+  EXPECT_EQ(p.PartitionOfBlock(4), 1u);
+  EXPECT_EQ(p.PartitionOfBlock(7), 3u);
+  EXPECT_EQ(p.MaxPartitionWidth(), 3u);
+  EXPECT_EQ(p.ToString(), "|3|2|1|2|");
+}
+
+TEST(Partitioning, PaperFig6Examples) {
+  // Fig. 6b: boundaries after blocks containing 8, 20, 55 => bits 00101101.
+  Partitioning b = Partitioning::FromBoundaryBits({0, 0, 1, 0, 1, 1, 0, 1});
+  EXPECT_EQ(b.PartitionWidths(), (std::vector<size_t>{3, 2, 1, 2}));
+  // Fig. 6c: four equal partitions of two blocks.
+  Partitioning c = Partitioning::FromBoundaryBits({0, 1, 0, 1, 0, 1, 0, 1});
+  EXPECT_EQ(c.PartitionWidths(), (std::vector<size_t>{2, 2, 2, 2}));
+  EXPECT_EQ(c, Partitioning::EquiWidth(8, 4));
+}
+
+TEST(Partitioning, EquiWidthHandlesNonDivisibleCounts) {
+  Partitioning p = Partitioning::EquiWidth(10, 3);
+  auto w = p.PartitionWidths();
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(std::accumulate(w.begin(), w.end(), size_t{0}), 10u);
+  for (const size_t x : w) EXPECT_TRUE(x == 3 || x == 4);
+}
+
+TEST(Partitioning, FinalBoundaryIsSticky) {
+  Partitioning p(4);
+  EXPECT_TRUE(p.IsBoundary(3));
+  p.SetBoundary(1, true);
+  EXPECT_EQ(p.NumPartitions(), 2u);
+  p.SetBoundary(1, false);
+  EXPECT_EQ(p.NumPartitions(), 1u);
+}
+
+TEST(DpSolver, ReadOnlyWorkloadWantsFinePartitions) {
+  const auto c = PaperConstants();
+  const size_t n = 16;
+  FrequencyModel fm(n);
+  for (size_t b = 0; b < n; ++b) {
+    fm.AddPointQuery(b);
+    fm.AddPointQuery(b);
+  }
+  SolveResult r = DpSolver::Solve(CostTerms::Compute(fm, c));
+  EXPECT_EQ(r.partitioning.NumPartitions(), n);  // every block isolated
+}
+
+TEST(DpSolver, InsertOnlyWorkloadWantsOnePartition) {
+  const auto c = PaperConstants();
+  const size_t n = 16;
+  FrequencyModel fm(n);
+  for (size_t b = 0; b < n; ++b) fm.AddInsert(b);
+  SolveResult r = DpSolver::Solve(CostTerms::Compute(fm, c));
+  EXPECT_EQ(r.partitioning.NumPartitions(), 1u);
+}
+
+TEST(DpSolver, SkewedWorkloadGetsSkewedLayout) {
+  // Point queries hammer the first quarter; inserts hammer the rest.
+  const auto c = PaperConstants();
+  const size_t n = 32;
+  FrequencyModel fm(n);
+  for (int rep = 0; rep < 20; ++rep) {
+    for (size_t b = 0; b < n / 4; ++b) fm.AddPointQuery(b);
+  }
+  for (size_t b = n / 4; b < n; ++b) fm.AddInsert(b);
+  SolveResult r = DpSolver::Solve(CostTerms::Compute(fm, c));
+  const auto widths = r.partitioning.PartitionWidths();
+  // Expect narrow partitions up front, wide in the back.
+  EXPECT_EQ(widths.front(), 1u);
+  EXPECT_GT(widths.back(), 4u);
+}
+
+TEST(DpSolver, MatchesExhaustiveOnRandomInstances) {
+  const auto c = PaperConstants();
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const size_t n = 4 + seed % 11;  // 4..14 blocks
+    FrequencyModel fm = RandomModel(n, 900 + seed);
+    CostTerms t = CostTerms::Compute(fm, c);
+    SolveResult dp = DpSolver::Solve(t);
+    SolveResult ex = SolveExhaustive(t);
+    ASSERT_NEAR(dp.cost, ex.cost, 1e-6 * std::max(1.0, std::abs(ex.cost)))
+        << "seed=" << seed << " n=" << n << "\n dp=" << dp.partitioning.ToString()
+        << "\n ex=" << ex.partitioning.ToString();
+  }
+}
+
+TEST(DpSolver, MatchesExhaustiveUnderSlaConstraints) {
+  const auto c = PaperConstants();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const size_t n = 6 + seed % 9;
+    FrequencyModel fm = RandomModel(n, 1700 + seed);
+    CostTerms t = CostTerms::Compute(fm, c);
+    SolverOptions opts;
+    opts.max_partitions = 2 + seed % 3;
+    opts.max_partition_blocks = (n + opts.max_partitions - 1) / opts.max_partitions +
+                                seed % 3;
+    SolveResult dp = DpSolver::Solve(t, opts);
+    SolveResult ex = SolveExhaustive(t, opts);
+    EXPECT_LE(dp.partitioning.NumPartitions(), opts.max_partitions);
+    EXPECT_LE(dp.partitioning.MaxPartitionWidth(), opts.max_partition_blocks);
+    ASSERT_NEAR(dp.cost, ex.cost, 1e-6 * std::max(1.0, std::abs(ex.cost)))
+        << "seed=" << seed;
+  }
+}
+
+TEST(DpSolver, LagrangianFallbackRespectsPartitionBudget) {
+  const auto c = PaperConstants();
+  const size_t n = 128;
+  FrequencyModel fm = RandomModel(n, 5);
+  CostTerms t = CostTerms::Compute(fm, c);
+  SolverOptions opts;
+  opts.max_partitions = 7;
+  opts.exact_layered_budget = 1;  // force the Lagrangian path
+  SolveResult r = DpSolver::Solve(t, opts);
+  EXPECT_TRUE(r.stats.used_lagrangian);
+  EXPECT_LE(r.partitioning.NumPartitions(), 7u);
+  // Compare against the exact layered DP: Lagrangian must be within 5%.
+  SolverOptions exact = opts;
+  exact.exact_layered_budget = size_t{1} << 40;
+  SolveResult e = DpSolver::Solve(t, exact);
+  EXPECT_LE(r.cost, e.cost * 1.05 + 1e-9);
+}
+
+TEST(DpSolver, CostAgreesWithLiteralObjective) {
+  const auto c = PaperConstants();
+  FrequencyModel fm = RandomModel(12, 77);
+  CostTerms t = CostTerms::Compute(fm, c);
+  SolveResult r = DpSolver::Solve(t);
+  EXPECT_NEAR(r.cost, EvaluateLayoutCostLiteral(t, r.partitioning),
+              1e-6 * std::max(1.0, r.cost));
+}
+
+TEST(Bip, ObjectiveEqualsEq16AndCountsArtifacts) {
+  const auto c = PaperConstants();
+  FrequencyModel fm = RandomModel(8, 3);
+  CostTerms t = CostTerms::Compute(fm, c);
+  BipFormulation bip(t);
+  Partitioning p = Partitioning::FromWidths({2, 3, 3});
+  EXPECT_NEAR(bip.Objective(p), EvaluateLayoutCost(t, p), 1e-9);
+  // 8 p-vars + 36 y-vars; constraints: 8 diag + 2*28 links + 1 mandatory.
+  EXPECT_EQ(bip.NumVariables(), 8u + 36u);
+  EXPECT_EQ(bip.NumConstraints(), 8u + 56u + 1u);
+}
+
+TEST(Bip, LpExportContainsFormulation) {
+  const auto c = PaperConstants();
+  FrequencyModel fm = RandomModel(5, 4);
+  CostTerms t = CostTerms::Compute(fm, c);
+  SolverOptions opts;
+  opts.max_partitions = 3;
+  opts.max_partition_blocks = 2;
+  BipFormulation bip(t, opts);
+  const std::string lp = bip.ToLpFormat();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("p4 = 1"), std::string::npos);   // mandatory boundary
+  EXPECT_NE(lp.find("updsla"), std::string::npos);   // update SLA row
+  EXPECT_NE(lp.find("rdsla"), std::string::npos);    // read SLA rows
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+}
+
+TEST(Bip, FeasibilityChecksSlaBounds) {
+  const auto c = PaperConstants();
+  FrequencyModel fm = RandomModel(8, 9);
+  CostTerms t = CostTerms::Compute(fm, c);
+  SolverOptions opts;
+  opts.max_partitions = 2;
+  opts.max_partition_blocks = 6;
+  BipFormulation bip(t, opts);
+  EXPECT_TRUE(bip.Feasible(Partitioning::FromWidths({4, 4})));
+  EXPECT_FALSE(bip.Feasible(Partitioning::FromWidths({2, 2, 4})));  // too many parts
+  EXPECT_FALSE(bip.Feasible(Partitioning::FromWidths({7, 1})));     // too wide
+}
+
+TEST(GhostAllocation, ProportionalToDataMovement) {
+  FrequencyModel fm(8);
+  // Partition 0 = blocks 0..3, partition 1 = blocks 4..7.
+  for (int i = 0; i < 30; ++i) fm.AddInsert(1);
+  for (int i = 0; i < 10; ++i) fm.AddInsert(5);
+  Partitioning p = Partitioning::FromWidths({4, 4});
+  GhostAllocation g = AllocateGhostValues(fm, p, 100);
+  ASSERT_EQ(g.per_partition.size(), 2u);
+  EXPECT_EQ(g.per_partition[0], 75u);
+  EXPECT_EQ(g.per_partition[1], 25u);
+}
+
+TEST(GhostAllocation, CountsIncomingUpdates) {
+  FrequencyModel fm(4);
+  fm.AddUpdate(0, 3);  // utf hits block 3 (partition 1)
+  fm.AddUpdate(3, 0);  // utb hits block 0 (partition 0)
+  fm.AddUpdate(2, 0);  // utb hits block 0 again
+  Partitioning p = Partitioning::FromWidths({2, 2});
+  GhostAllocation g = AllocateGhostValues(fm, p, 3);
+  EXPECT_EQ(g.per_partition[0], 2u);
+  EXPECT_EQ(g.per_partition[1], 1u);
+}
+
+TEST(GhostAllocation, SpendsExactBudgetWithRounding) {
+  Rng rng(42);
+  FrequencyModel fm(16);
+  for (int i = 0; i < 97; ++i) fm.AddInsert(rng.Below(16));
+  for (size_t k : {1u, 3u, 5u, 16u}) {
+    Partitioning p = Partitioning::EquiWidth(16, k);
+    for (size_t budget : {0u, 1u, 7u, 100u, 1001u}) {
+      GhostAllocation g = AllocateGhostValues(fm, p, budget);
+      EXPECT_EQ(std::accumulate(g.per_partition.begin(), g.per_partition.end(),
+                                size_t{0}),
+                budget);
+    }
+  }
+}
+
+TEST(GhostAllocation, EvenSpreadWithoutWritePressure) {
+  FrequencyModel fm(8);
+  fm.AddPointQuery(0);  // reads only
+  Partitioning p = Partitioning::FromWidths({2, 2, 2, 2});
+  GhostAllocation g = AllocateGhostValues(fm, p, 8);
+  for (const size_t x : g.per_partition) EXPECT_EQ(x, 2u);
+}
+
+TEST(Sla, UpdateSlaBoundsPartitionCount) {
+  const auto c = PaperConstants();
+  // (RR + RW) = 200ns; SLA 2000ns allows 1 + sum p <= 10 => 9 partitions.
+  EXPECT_EQ(SlaBounds::MaxPartitionsForUpdateSla(2000.0, c), 9u);
+  EXPECT_EQ(SlaBounds::MaxPartitionsForUpdateSla(0.0, c), 0u);  // unbounded
+  // Tighter than one ripple: still at least one partition.
+  EXPECT_EQ(SlaBounds::MaxPartitionsForUpdateSla(150.0, c), 1u);
+}
+
+TEST(Sla, ReadSlaBoundsPartitionWidth) {
+  const auto c = PaperConstants();
+  // RR + (w-1) SR <= readSLA; with RR=100, SR=100/14: SLA=200 -> w <= 15.
+  EXPECT_EQ(SlaBounds::MaxPartitionWidthForReadSla(200.0, c), 15u);
+  EXPECT_EQ(SlaBounds::MaxPartitionWidthForReadSla(0.0, c), 0u);  // unbounded
+  EXPECT_EQ(SlaBounds::MaxPartitionWidthForReadSla(50.0, c), 1u);
+}
+
+TEST(LayoutPlanner, PlansChunkWithGhostBudget) {
+  PlannerOptions opts;
+  opts.costs = PaperConstants();
+  opts.ghost_fraction = 0.01;
+  FrequencyModel fm = RandomModel(32, 11);
+  ChunkPlan plan = LayoutPlanner::PlanChunk(fm, 32 * 1024, opts);
+  EXPECT_GE(plan.partitioning.NumPartitions(), 1u);
+  EXPECT_EQ(std::accumulate(plan.ghosts.per_partition.begin(),
+                            plan.ghosts.per_partition.end(), size_t{0}),
+            static_cast<size_t>(0.01 * 32 * 1024));
+  const auto sizes = plan.PartitionValueSizes(1024, 32 * 1024);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), size_t{0}),
+            size_t{32} * 1024);
+}
+
+TEST(LayoutPlanner, RespectsUpdateSla) {
+  PlannerOptions opts;
+  opts.costs = PaperConstants();
+  opts.update_sla_ns = 1200.0;  // allows 1 + sum p <= 6 => 5 partitions
+  FrequencyModel fm(64);
+  for (size_t b = 0; b < 64; ++b) {
+    fm.AddPointQuery(b);
+    fm.AddPointQuery(b);
+  }
+  ChunkPlan plan = LayoutPlanner::PlanChunk(fm, 64 * 1024, opts);
+  EXPECT_LE(plan.partitioning.NumPartitions(), 5u);
+}
+
+TEST(LayoutPlanner, PartialFinalBlockSizes) {
+  PlannerOptions opts;
+  opts.costs = PaperConstants();
+  FrequencyModel fm = RandomModel(4, 21);
+  ChunkPlan plan = LayoutPlanner::PlanChunk(fm, 3500, opts);  // 4 blocks of 1024
+  const auto sizes = plan.PartitionValueSizes(1024, 3500);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), size_t{0}), 3500u);
+}
+
+TEST(LayoutPlanner, ParallelChunkPlanningMatchesSerial) {
+  PlannerOptions opts;
+  opts.costs = PaperConstants();
+  std::vector<FrequencyModel> fms;
+  for (uint64_t s = 0; s < 8; ++s) fms.push_back(RandomModel(24, 100 + s));
+  auto serial = LayoutPlanner::PlanChunks(fms, 24 * 512, opts, nullptr);
+  ThreadPool pool(4);
+  auto parallel = LayoutPlanner::PlanChunks(fms, 24 * 512, opts, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].partitioning, parallel[i].partitioning) << i;
+    EXPECT_EQ(serial[i].ghosts.per_partition, parallel[i].ghosts.per_partition) << i;
+  }
+}
+
+// Property sweep: the solver never returns a layout worse than both the
+// single-partition and the all-boundaries baselines.
+class SolverDominance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverDominance, BeatsTrivialBaselines) {
+  const auto c = PaperConstants();
+  const size_t n = 20;
+  FrequencyModel fm = RandomModel(n, GetParam());
+  CostTerms t = CostTerms::Compute(fm, c);
+  SolveResult r = DpSolver::Solve(t);
+  const double single = EvaluateLayoutCost(t, Partitioning(n));
+  const double fine = EvaluateLayoutCost(t, Partitioning::EquiWidth(n, n));
+  EXPECT_LE(r.cost, single + 1e-9);
+  EXPECT_LE(r.cost, fine + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDominance,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace casper

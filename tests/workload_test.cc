@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/capture.h"
+#include "workload/generator.h"
+#include "workload/hap.h"
+#include "workload/perturb.h"
+#include "workload/tpch.h"
+
+namespace casper {
+namespace {
+
+TEST(Generator, RespectsMixFractions) {
+  WorkloadSpec spec;
+  spec.mix = {.point_query = 0.5, .range_count = 0.2, .insert = 0.3};
+  spec.domain_lo = 0;
+  spec.domain_hi = 100000;
+  Rng rng(1);
+  auto ops = GenerateWorkload(spec, 20000, rng);
+  std::array<size_t, kNumOpKinds> counts{};
+  for (const auto& op : ops) counts[static_cast<size_t>(op.kind)]++;
+  EXPECT_NEAR(counts[0] / 20000.0, 0.5, 0.02);  // point queries
+  EXPECT_NEAR(counts[1] / 20000.0, 0.2, 0.02);  // range counts
+  EXPECT_NEAR(counts[3] / 20000.0, 0.3, 0.02);  // inserts
+  EXPECT_EQ(counts[2] + counts[4] + counts[5], 0u);
+}
+
+TEST(Generator, RangeWidthMatchesSelectivity) {
+  WorkloadSpec spec;
+  spec.mix = {.range_count = 1.0};
+  spec.domain_lo = 0;
+  spec.domain_hi = 1000000;
+  spec.range_selectivity = 0.05;
+  Rng rng(2);
+  auto ops = GenerateWorkload(spec, 1000, rng);
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.kind, OpKind::kRangeCount);
+    EXPECT_LE(op.b - op.a, 50000 + 1);
+    EXPECT_GE(op.b - op.a, 1);
+    EXPECT_GE(op.a, spec.domain_lo);
+    EXPECT_LE(op.b, spec.domain_hi);
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  WorkloadSpec spec = hap::MakeSpec(hap::Workload::kHybridSkewed, 0, 1 << 20);
+  Rng rng1(7), rng2(7);
+  auto a = GenerateWorkload(spec, 500, rng1);
+  auto b = GenerateWorkload(spec, 500, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+  }
+}
+
+TEST(Hap, AllSpecsSumToOne) {
+  for (const auto w :
+       {hap::Workload::kHybridSkewed, hap::Workload::kHybridRangeSkewed,
+        hap::Workload::kReadOnlySkewed, hap::Workload::kReadOnlyUniform,
+        hap::Workload::kUpdateOnlySkewed, hap::Workload::kUpdateOnlyUniform,
+        hap::Workload::kSlaHybrid, hap::Workload::kUdi1, hap::Workload::kUdi2,
+        hap::Workload::kYcsbA2}) {
+    const auto spec = hap::MakeSpec(w, 0, 1000);
+    EXPECT_NEAR(spec.mix.Total(), 1.0, 1e-9) << hap::WorkloadName(w);
+  }
+}
+
+TEST(Hap, SkewedWorkloadTargetsRecentData) {
+  const auto spec = hap::MakeSpec(hap::Workload::kHybridSkewed, 0, 1000000);
+  Rng rng(3);
+  auto ops = GenerateWorkload(spec, 10000, rng);
+  size_t hot_reads = 0, reads = 0;
+  for (const auto& op : ops) {
+    if (op.kind == OpKind::kPointQuery) {
+      ++reads;
+      if (op.a >= 800000) ++hot_reads;
+    }
+  }
+  ASSERT_GT(reads, 0u);
+  EXPECT_GT(static_cast<double>(hot_reads) / reads, 0.85);
+}
+
+TEST(Hap, DatasetIsReproducibleAndInDomain) {
+  Rng rng(11);
+  auto ds = hap::MakeDataset(1000, 4, rng);
+  EXPECT_EQ(ds.keys.size(), 1000u);
+  EXPECT_EQ(ds.payload.size(), 4u);
+  for (const Value k : ds.keys) {
+    EXPECT_GE(k, ds.domain_lo);
+    EXPECT_LT(k, ds.domain_hi);
+  }
+}
+
+TEST(Capture, PointQueryLandsInCorrectBlock) {
+  // 16 sorted keys, chunk = 16, block = 2: key at sorted position p maps to
+  // block p/2 — exactly the paper's Fig. 7 setting.
+  std::vector<Value> keys = {3,  1,  5,  4,  7,  8,  15, 18,
+                             20, 19, 32, 55, 65, 67, 82, 95};
+  std::sort(keys.begin(), keys.end());
+  WorkloadCapture cap(keys, 16, 2);
+  ASSERT_EQ(cap.num_chunks(), 1u);
+  cap.Capture({OpKind::kPointQuery, 4, 0});
+  EXPECT_DOUBLE_EQ(cap.models()[0].pq()[1], 1.0);  // Fig. 7a
+  cap.Capture({OpKind::kRangeCount, 4, 20});       // values 4..19 (Fig. 7b)
+  EXPECT_DOUBLE_EQ(cap.models()[0].rs()[1], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[0].sc()[2], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[0].sc()[3], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[0].re()[4], 1.0);
+  cap.Capture({OpKind::kDelete, 32, 0});  // Fig. 7d
+  EXPECT_DOUBLE_EQ(cap.models()[0].de()[5], 1.0);
+  cap.Capture({OpKind::kInsert, 16, 0});  // Fig. 7e: lands where 18 lives
+  EXPECT_DOUBLE_EQ(cap.models()[0].in()[3], 1.0);
+  cap.Capture({OpKind::kUpdate, 3, 16});  // Fig. 7f: forward ripple
+  EXPECT_DOUBLE_EQ(cap.models()[0].udf()[0], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[0].utf()[3], 1.0);
+  cap.Capture({OpKind::kUpdate, 55, 17});  // Fig. 7g: backward ripple
+  EXPECT_DOUBLE_EQ(cap.models()[0].udb()[5], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[0].utb()[3], 1.0);
+}
+
+TEST(Capture, SplitsAcrossChunks) {
+  std::vector<Value> keys(100);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadCapture cap(keys, 50, 10);  // 2 chunks, 5 blocks each
+  ASSERT_EQ(cap.num_chunks(), 2u);
+  // Range covering both chunks.
+  cap.Capture({OpKind::kRangeCount, 5, 95});
+  EXPECT_DOUBLE_EQ(cap.models()[0].rs()[0], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[0].re()[4], 1.0);  // to chunk 0's end
+  EXPECT_DOUBLE_EQ(cap.models()[1].rs()[0], 1.0);  // from chunk 1's start
+  EXPECT_DOUBLE_EQ(cap.models()[1].re()[4], 1.0);
+  // Cross-chunk update becomes delete + insert.
+  cap.Capture({OpKind::kUpdate, 10, 90});
+  EXPECT_DOUBLE_EQ(cap.models()[0].de()[1], 1.0);
+  EXPECT_DOUBLE_EQ(cap.models()[1].in()[4], 1.0);
+}
+
+TEST(Capture, ExplicitChunkCounts) {
+  std::vector<Value> keys(30);
+  std::iota(keys.begin(), keys.end(), 0);
+  WorkloadCapture cap(keys, std::vector<size_t>{12, 18}, 6);
+  ASSERT_EQ(cap.num_chunks(), 2u);
+  EXPECT_EQ(cap.models()[0].num_blocks(), 2u);
+  EXPECT_EQ(cap.models()[1].num_blocks(), 3u);
+  cap.Capture({OpKind::kPointQuery, 13, 0});  // position 13 -> chunk 1 block 0
+  EXPECT_DOUBLE_EQ(cap.models()[1].pq()[0], 1.0);
+}
+
+TEST(Perturb, RotationalShiftMovesTargets) {
+  WorkloadSpec spec;
+  spec.mix = {.point_query = 1.0};
+  spec.domain_lo = 0;
+  spec.domain_hi = 1000000;
+  spec.read_target = std::make_shared<HotspotDistribution>(0.0, 0.1, 1.0);
+  auto shifted = ApplyRotationalShift(spec, 0.5);
+  Rng rng(13);
+  auto ops = GenerateWorkload(shifted, 1000, rng);
+  for (const auto& op : ops) {
+    EXPECT_GE(op.a, 500000);
+    EXPECT_LT(op.a, 600000 + 1);
+  }
+}
+
+TEST(Perturb, MassShiftMovesPointQueryMassToInserts) {
+  WorkloadSpec spec;
+  spec.mix = {.point_query = 0.5, .insert = 0.5};
+  auto shifted = ApplyMassShift(spec, 0.25);
+  EXPECT_NEAR(shifted.mix.point_query, 0.25, 1e-9);
+  EXPECT_NEAR(shifted.mix.insert, 0.75, 1e-9);
+  auto back = ApplyMassShift(spec, -0.25);
+  EXPECT_NEAR(back.mix.point_query, 0.75, 1e-9);
+  EXPECT_NEAR(back.mix.insert, 0.25, 1e-9);
+  EXPECT_NEAR(shifted.mix.Total(), 1.0, 1e-9);
+}
+
+TEST(Tpch, Q6SelectivityNearOfficial) {
+  Rng rng(17);
+  auto t = tpch::MakeLineitem(200000, rng);
+  auto bounds = tpch::RandomQ6Bounds(rng);
+  size_t qualifying = 0;
+  for (size_t i = 0; i < t.shipdate.size(); ++i) {
+    if (t.shipdate[i] >= bounds.date_lo && t.shipdate[i] < bounds.date_hi &&
+        t.payload[1][i] >= tpch::kQ6DiscountLo &&
+        t.payload[1][i] <= tpch::kQ6DiscountHi &&
+        t.payload[0][i] < tpch::kQ6QuantityBound) {
+      ++qualifying;
+    }
+  }
+  const double selectivity = static_cast<double>(qualifying) / t.shipdate.size();
+  // Official TPC-H Q6 selects ~1.9% of lineitem.
+  EXPECT_GT(selectivity, 0.010);
+  EXPECT_LT(selectivity, 0.030);
+}
+
+TEST(Tpch, LineitemColumnsInSpecRanges) {
+  Rng rng(19);
+  auto t = tpch::MakeLineitem(5000, rng);
+  for (size_t i = 0; i < t.shipdate.size(); ++i) {
+    EXPECT_GE(t.payload[0][i], 1u);
+    EXPECT_LE(t.payload[0][i], 50u);
+    EXPECT_LE(t.payload[1][i], 10u);
+    EXPECT_GE(t.payload[2][i], 901u);
+  }
+}
+
+}  // namespace
+}  // namespace casper
