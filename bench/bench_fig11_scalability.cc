@@ -3,10 +3,16 @@
 // values per chunk... the paper labels lines by chunk count; we label by
 // chunk size). Chunking makes the decision cost linear in data size and
 // embarrassingly parallel (§6.3); the single job grows superlinearly.
+//
+// Section 2 extends the figure with the execution-side scalability axis:
+// morsel-driven scan fan-out over chunk shards (exec/) at 1/2/4/8 threads on
+// the same layout, with a bit-identity check against serial results. Both
+// axes — planning and scanning — ride the same per-chunk independence.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "exec/parallel_executor.h"
 #include "model/frequency_model.h"
 #include "optimizer/layout_planner.h"
 #include "util/stopwatch.h"
@@ -52,6 +58,64 @@ double TimePlan(size_t data_size, size_t chunk_values, size_t block_values,
   return sw.ElapsedMillis();
 }
 
+/// Section 2: scan throughput vs thread count on one fixed layout. Parallel
+/// answers are checked bit-identical to serial before any number is printed.
+void ScanThreadsAxis() {
+  std::printf("\n--- threads axis: morsel-driven scan fan-out ---\n");
+  const size_t rows = ScaledRows(4'000'000);
+  Rng rng(4242);
+  auto data = hap::MakeDataset(rows, 3, rng);
+
+  LayoutBuildOptions opts;
+  opts.mode = LayoutMode::kEquiWidthGhost;
+  opts.chunk_values = size_t{1} << 16;  // many chunks -> many shards
+  auto engine = BuildLayout(opts, data.keys, data.payload);
+
+  // Query set: full scans plus wide range counts/sums/Q6 over the domain.
+  const Value lo = data.domain_lo;
+  const Value hi = data.domain_hi;
+  const Value q = (hi - lo) / 8;  // keeps [lo + i*q, hi - i*q/2) non-empty
+  const std::vector<size_t> cols = {0, 1};
+  const auto run_queries = [&](const ParallelExecutor& exec) {
+    uint64_t checksum = 0;
+    checksum += exec.ScanAll(*engine);
+    for (int i = 0; i < 4; ++i) {
+      checksum += exec.CountRange(*engine, lo + i * q, hi - i * q / 2);
+      checksum += static_cast<uint64_t>(
+          exec.SumPayloadRange(*engine, lo + i * q, hi - i * q / 2, cols));
+      checksum += static_cast<uint64_t>(
+          exec.TpchQ6(*engine, lo + i * q, hi - i * q / 2, 1000, 9000, 8000));
+    }
+    return checksum;
+  };
+
+  const uint64_t serial_checksum = run_queries(ParallelExecutor(nullptr));
+  const size_t rounds = 5;
+  std::printf("%zu rows, %zu shards, %zu queries/round, %zu rounds\n", rows,
+              engine->NumShards(), size_t{13}, rounds);
+  std::printf("%8s %14s %18s %10s %10s\n", "threads", "time (ms)",
+              "values scanned/s", "speedup", "identical");
+
+  double base_ms = 0.0;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    const ParallelExecutor exec(&pool);
+    uint64_t checksum = 0;
+    Stopwatch sw;
+    for (size_t r = 0; r < rounds; ++r) checksum = run_queries(exec);
+    const double ms = sw.ElapsedMillis();
+    if (threads == 1) base_ms = ms;
+    // 13 queries/round, each touching O(rows) values.
+    const double values_per_sec =
+        static_cast<double>(rows) * 13.0 * static_cast<double>(rounds) /
+        (ms / 1000.0);
+    std::printf("%8zu %14.2f %18.3e %9.2fx %10s\n", threads, ms, values_per_sec,
+                base_ms / ms, checksum == serial_checksum ? "yes" : "NO!");
+  }
+  std::printf("(expect: speedup tracking physical cores; results must stay\n"
+              " bit-identical to serial at every thread count)\n");
+}
+
 int Main() {
   PrintHeader("Figure 11", "partitioning decision latency vs data size");
   const size_t block_values = 2048;
@@ -80,6 +144,20 @@ int Main() {
   }
   std::printf("(expect: single job superlinear; chunked linear in data size — the\n"
               " paper partitions 1e9 values in ~10s with 64 cores via chunking)\n");
+
+  // Planning threads axis: same chunked problem, varying pool width.
+  std::printf("\n--- threads axis: parallel per-chunk layout solving ---\n");
+  const size_t plan_n = size_t{1} << 24;
+  std::printf("%8s %16s %10s\n", "threads", "chunk=64K (ms)", "speedup");
+  double plan_base = 0.0;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool plan_pool(threads);
+    const double ms = TimePlan(plan_n, size_t{1} << 16, block_values, &plan_pool);
+    if (threads == 1) plan_base = ms;
+    std::printf("%8zu %16.2f %9.2fx\n", threads, ms, plan_base / ms);
+  }
+
+  ScanThreadsAxis();
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "engine/casper_engine.h"
 
+#include "exec/parallel_executor.h"
 #include "util/status.h"
 
 namespace casper {
@@ -8,11 +9,35 @@ CasperEngine CasperEngine::Open(LayoutBuildOptions options, std::vector<Value> k
                                 std::vector<std::vector<Payload>> payload,
                                 const std::vector<Operation>* training) {
   if (training != nullptr) options.training = training;
-  return CasperEngine(BuildLayout(options, std::move(keys), std::move(payload)));
+  // One pool serves the whole stack: frequency-model capture and per-chunk
+  // layout solves during the build, then shard fan-out at query time.
+  std::unique_ptr<ThreadPool> owned;
+  if (options.pool == nullptr && options.exec_threads > 1) {
+    owned = std::make_unique<ThreadPool>(options.exec_threads);
+    options.pool = owned.get();
+  }
+  ThreadPool* pool = options.pool;
+  auto layout = BuildLayout(options, std::move(keys), std::move(payload));
+  return CasperEngine(std::move(layout), std::move(owned), pool);
 }
 
 uint64_t CasperEngine::ScanAll() const {
-  return engine_->CountRange(kMinValue + 1, kMaxValue);
+  return ParallelExecutor(pool_).ScanAll(*engine_);
+}
+
+uint64_t CasperEngine::CountBetween(Value lo, Value hi) const {
+  return ParallelExecutor(pool_).CountRange(*engine_, lo, hi);
+}
+
+int64_t CasperEngine::SumPayloadBetween(Value lo, Value hi,
+                                        const std::vector<size_t>& cols) const {
+  return ParallelExecutor(pool_).SumPayloadRange(*engine_, lo, hi, cols);
+}
+
+int64_t CasperEngine::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                             Payload qty_max) const {
+  return ParallelExecutor(pool_).TpchQ6(*engine_, lo, hi, disc_lo, disc_hi,
+                                        qty_max);
 }
 
 }  // namespace casper

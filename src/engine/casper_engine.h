@@ -6,6 +6,7 @@
 
 #include "layouts/layout_engine.h"
 #include "layouts/layout_factory.h"
+#include "util/thread_pool.h"
 #include "workload/ops.h"
 
 namespace casper {
@@ -21,6 +22,12 @@ namespace casper {
 /// and materializes the tailored layout (the A -> B -> C pipeline of
 /// paper Fig. 10). Any other mode gives the corresponding baseline layout
 /// over the same data, which is how the paper runs its comparisons.
+///
+/// Parallelism: set options.exec_threads > 1 (or pass options.pool) and the
+/// engine threads one pool through the whole stack — frequency-model capture
+/// and per-chunk layout solves at Open() time, morsel-driven shard fan-out
+/// for scans/range reads, and chunk-grouped batched writes — with results
+/// bit-identical to serial execution.
 class CasperEngine {
  public:
   /// Loads `keys` / `payload` (unsorted ok) under the requested layout.
@@ -39,13 +46,11 @@ class CasperEngine {
     return engine_->PointLookup(key, payload);
   }
 
-  // (iii) Range search.
-  uint64_t CountBetween(Value lo, Value hi) const {
-    return engine_->CountRange(lo, hi);
-  }
-  int64_t SumPayloadBetween(Value lo, Value hi, const std::vector<size_t>& cols) const {
-    return engine_->SumPayloadRange(lo, hi, cols);
-  }
+  // (iii) Range search (fans out over shards when a pool is attached).
+  uint64_t CountBetween(Value lo, Value hi) const;
+  int64_t SumPayloadBetween(Value lo, Value hi, const std::vector<size_t>& cols) const;
+  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                 Payload qty_max) const;
 
   // (iv) Insert.
   void Insert(Value key, const std::vector<Payload>& payload) {
@@ -58,18 +63,33 @@ class CasperEngine {
   }
   size_t Delete(Value key) { return engine_->Delete(key); }
 
+  /// Batched operations: write runs are grouped by destination chunk/shard
+  /// (and fanned over the pool when attached); results are identical to
+  /// applying the ops one-by-one.
+  BatchResult ApplyBatch(const std::vector<Operation>& ops) {
+    return engine_->ApplyBatch(ops.data(), ops.size(), pool_);
+  }
+
   LayoutMode mode() const { return engine_->mode(); }
   size_t num_rows() const { return engine_->num_rows(); }
   LayoutMemoryStats MemoryStats() const { return engine_->MemoryStats(); }
+
+  /// Pool used for parallel execution; nullptr when running serial.
+  ThreadPool* pool() const { return pool_; }
 
   LayoutEngine& layout() { return *engine_; }
   const LayoutEngine& layout() const { return *engine_; }
 
  private:
-  explicit CasperEngine(std::unique_ptr<LayoutEngine> engine)
-      : engine_(std::move(engine)) {}
+  CasperEngine(std::unique_ptr<LayoutEngine> engine,
+               std::unique_ptr<ThreadPool> owned_pool, ThreadPool* pool)
+      : engine_(std::move(engine)),
+        owned_pool_(std::move(owned_pool)),
+        pool_(pool) {}
 
   std::unique_ptr<LayoutEngine> engine_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< set when the engine made its own
+  ThreadPool* pool_ = nullptr;              ///< may alias owned_pool_ or a caller's
 };
 
 }  // namespace casper

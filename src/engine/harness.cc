@@ -1,7 +1,9 @@
 #include "engine/harness.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "exec/parallel_executor.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -25,6 +27,11 @@ HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& op
     if (c < pcols) q3_cols.push_back(c);
   }
 
+  // With a pool, range reads fan out over the engine's shards; the merged
+  // result is bit-identical to the serial call.
+  const bool parallel_reads = options.pool != nullptr;
+  const ParallelExecutor exec(options.pool);
+
   Stopwatch total;
   Stopwatch per_op;
   for (const Operation& op : ops) {
@@ -34,18 +41,17 @@ HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& op
         result.checksum += engine.PointLookup(op.a, &row_out);
         break;
       case OpKind::kRangeCount:
-        result.checksum += engine.CountRange(op.a, op.b);
+        result.checksum += parallel_reads ? exec.CountRange(engine, op.a, op.b)
+                                          : engine.CountRange(op.a, op.b);
         break;
       case OpKind::kRangeSum:
-        result.checksum +=
-            static_cast<uint64_t>(engine.SumPayloadRange(op.a, op.b, q3_cols));
+        result.checksum += static_cast<uint64_t>(
+            parallel_reads ? exec.SumPayloadRange(engine, op.a, op.b, q3_cols)
+                           : engine.SumPayloadRange(op.a, op.b, q3_cols));
         break;
       case OpKind::kInsert:
         if (options.key_derived_payload) {
-          for (size_t c = 0; c < payload.size(); ++c) {
-            payload[c] = static_cast<Payload>(
-                (static_cast<uint64_t>(op.a < 0 ? -op.a : op.a) * (c + 1)) % 10000);
-          }
+          KeyDerivedPayload(op.a, payload.size(), &payload);
         } else {
           for (auto& p : payload) p = static_cast<Payload>(payload_rng.Below(10000));
         }
@@ -68,6 +74,25 @@ HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& op
 
 HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& ops) {
   return RunWorkload(engine, ops, HarnessOptions{});
+}
+
+HarnessResult RunWorkloadBatched(LayoutEngine& engine,
+                                 const std::vector<Operation>& ops,
+                                 const HarnessOptions& options,
+                                 size_t batch_size) {
+  CASPER_CHECK(batch_size > 0);
+  HarnessResult result;
+  result.ops = ops.size();
+  Stopwatch total;
+  for (size_t begin = 0; begin < ops.size(); begin += batch_size) {
+    const size_t n = std::min(batch_size, ops.size() - begin);
+    const BatchResult br = engine.ApplyBatch(ops.data() + begin, n, options.pool);
+    // Same checksum mixing as the per-op replay: query results, rows
+    // deleted, and successful updates each contribute their counts.
+    result.checksum += br.query_checksum + br.deletes + br.updates;
+  }
+  result.seconds = total.ElapsedSeconds();
+  return result;
 }
 
 std::string FormatResult(const HarnessResult& r) {

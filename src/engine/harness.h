@@ -12,6 +12,8 @@
 
 namespace casper {
 
+class ThreadPool;
+
 /// Outcome of replaying an operation stream against a layout engine:
 /// wall-clock throughput plus per-operation-class latency distributions
 /// (the measurements behind Figs. 12, 13, 14, 15, 16).
@@ -45,12 +47,27 @@ struct HarnessOptions {
   /// indistinguishable, so layouts that delete different physical duplicates
   /// still produce identical aggregates (cross-layout correctness checks).
   bool key_derived_payload = false;
+  /// Optional pool for intra-query parallelism: range queries fan out over
+  /// the engine's shards (morsel-driven, exec/). Results — including the
+  /// checksum — are identical to the serial replay.
+  ThreadPool* pool = nullptr;
 };
 
 /// Replays `ops` sequentially against `engine`.
 HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& ops,
                           const HarnessOptions& options);
 HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& ops);
+
+/// Replays `ops` through the batched write surface in slices of `batch_size`
+/// (ApplyBatch groups write runs by destination chunk/shard; queries act as
+/// barriers). Payloads are key-derived by definition of the batched API, so
+/// the checksum matches RunWorkload with key_derived_payload = true and the
+/// default q3 columns. Per-op latency is not recorded (ops are amortized);
+/// `pool` (from options) additionally fans grouped writes over chunks.
+HarnessResult RunWorkloadBatched(LayoutEngine& engine,
+                                 const std::vector<Operation>& ops,
+                                 const HarnessOptions& options,
+                                 size_t batch_size);
 
 /// Pretty one-line summary: throughput + mean latency per present op class.
 std::string FormatResult(const HarnessResult& r);

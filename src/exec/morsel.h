@@ -1,0 +1,46 @@
+#ifndef CASPER_EXEC_MORSEL_H_
+#define CASPER_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace casper::exec {
+
+/// Runs fn(i) for every i in [0, n) and returns the n partial results in
+/// index order. Work is handed out morsel-at-a-time: each worker pulls the
+/// next shard index from a shared atomic counter, so a skewed shard (one hot
+/// chunk) does not stall the rest of the pool behind a static split. The
+/// result is deterministic — slot i always holds fn(i), whichever thread ran
+/// it — which lets callers merge partials in index order for bit-identical
+/// answers regardless of scheduling.
+///
+/// Falls back to a plain serial loop when there is no pool, a single worker,
+/// or a single shard.
+template <typename T, typename Fn>
+std::vector<T> MorselMap(ThreadPool* pool, size_t n, const Fn& fn) {
+  std::vector<T> partials(n);
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) partials[i] = fn(i);
+    return partials;
+  }
+  std::atomic<size_t> next{0};
+  const size_t workers = pool->num_threads() < n ? pool->num_threads() : n;
+  for (size_t w = 0; w < workers; ++w) {
+    pool->Submit([&partials, &next, n, &fn] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        partials[i] = fn(i);
+      }
+    });
+  }
+  pool->Wait();
+  return partials;
+}
+
+}  // namespace casper::exec
+
+#endif  // CASPER_EXEC_MORSEL_H_

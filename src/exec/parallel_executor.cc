@@ -1,0 +1,51 @@
+#include "exec/parallel_executor.h"
+
+#include "exec/morsel.h"
+
+namespace casper {
+
+uint64_t ParallelExecutor::ScanAll(const LayoutEngine& engine) const {
+  // Same range convention as the serial facade: every key above kMinValue.
+  return CountRange(engine, kMinValue + 1, kMaxValue);
+}
+
+uint64_t ParallelExecutor::CountRange(const LayoutEngine& engine, Value lo,
+                                      Value hi) const {
+  const size_t shards = engine.NumShards();
+  const auto partials = exec::MorselMap<uint64_t>(
+      pool_, shards, [&](size_t s) { return engine.CountRangeShard(s, lo, hi); });
+  uint64_t total = 0;
+  for (const uint64_t p : partials) total += p;
+  return total;
+}
+
+int64_t ParallelExecutor::SumPayloadRange(const LayoutEngine& engine, Value lo,
+                                          Value hi,
+                                          const std::vector<size_t>& cols) const {
+  const size_t shards = engine.NumShards();
+  const auto partials = exec::MorselMap<int64_t>(pool_, shards, [&](size_t s) {
+    return engine.SumPayloadRangeShard(s, lo, hi, cols);
+  });
+  int64_t total = 0;
+  for (const int64_t p : partials) total += p;
+  return total;
+}
+
+int64_t ParallelExecutor::TpchQ6(const LayoutEngine& engine, Value lo, Value hi,
+                                 Payload disc_lo, Payload disc_hi,
+                                 Payload qty_max) const {
+  const size_t shards = engine.NumShards();
+  const auto partials = exec::MorselMap<int64_t>(pool_, shards, [&](size_t s) {
+    return engine.TpchQ6Shard(s, lo, hi, disc_lo, disc_hi, qty_max);
+  });
+  int64_t total = 0;
+  for (const int64_t p : partials) total += p;
+  return total;
+}
+
+BatchResult ParallelExecutor::ApplyBatch(LayoutEngine& engine, const Operation* ops,
+                                         size_t n) const {
+  return engine.ApplyBatch(ops, n, pool_);
+}
+
+}  // namespace casper

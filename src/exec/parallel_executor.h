@@ -1,0 +1,65 @@
+#ifndef CASPER_EXEC_PARALLEL_EXECUTOR_H_
+#define CASPER_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "layouts/layout_engine.h"
+#include "storage/types.h"
+#include "workload/ops.h"
+
+namespace casper {
+
+class ThreadPool;
+
+/// Morsel-driven intra-query parallelism over a layout engine's shards
+/// (paper §6.3: chunks are independent sub-problems — for execution as much
+/// as for layout solving). Each read query fans out over
+/// LayoutEngine::NumShards() via the shared morsel counter and merges the
+/// per-shard partials in index order, so the parallel answer is bit-identical
+/// to the serial one for any thread count or schedule.
+///
+/// The executor is a thin, copyable view: it owns no threads. A null pool
+/// (or a single-shard engine) degrades to the serial path. Writes stay
+/// single-writer: ApplyBatch delegates to the engine's batched write surface,
+/// which may itself fan grouped writes out over the pool (disjoint shards).
+///
+/// Concurrency contract: one query at a time per engine. Per-shard reads of
+/// partitioned layouts update per-chunk access counters; two *concurrent*
+/// queries over the same engine would race on them (replay is serial
+/// everywhere in this codebase).
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Full column scan: live rows visited, summed across shards.
+  uint64_t ScanAll(const LayoutEngine& engine) const;
+
+  /// Q2 fan-out: COUNT(*) WHERE key in [lo, hi).
+  uint64_t CountRange(const LayoutEngine& engine, Value lo, Value hi) const;
+
+  /// Q3 fan-out: SUM over `cols` WHERE key in [lo, hi).
+  int64_t SumPayloadRange(const LayoutEngine& engine, Value lo, Value hi,
+                          const std::vector<size_t>& cols) const;
+
+  /// TPC-H Q6 fan-out.
+  int64_t TpchQ6(const LayoutEngine& engine, Value lo, Value hi, Payload disc_lo,
+                 Payload disc_hi, Payload qty_max) const;
+
+  /// Batched writes through the engine's grouped write path.
+  BatchResult ApplyBatch(LayoutEngine& engine, const Operation* ops,
+                         size_t n) const;
+  BatchResult ApplyBatch(LayoutEngine& engine,
+                         const std::vector<Operation>& ops) const {
+    return ApplyBatch(engine, ops.data(), ops.size());
+  }
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_EXEC_PARALLEL_EXECUTOR_H_

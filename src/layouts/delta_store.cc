@@ -162,6 +162,22 @@ bool DeltaStoreLayout::UpdateKey(Value old_key, Value new_key) {
   return true;
 }
 
+BatchResult DeltaStoreLayout::ApplyBatch(const Operation* ops, size_t n,
+                                         ThreadPool* /*pool*/) {
+  std::vector<Payload> row;
+  return ApplyBatchInsertRuns(*this, ops, n, [&](const std::vector<Value>& run) {
+    delta_keys_.reserve(delta_keys_.size() + run.size());
+    for (const Value key : run) {
+      delta_keys_.push_back(key);
+      KeyDerivedPayload(key, main_payload_.size(), &row);
+      for (size_t c = 0; c < main_payload_.size(); ++c) {
+        delta_payload_[c].push_back(row[c]);
+      }
+    }
+    MaybeMerge();
+  });
+}
+
 size_t DeltaStoreLayout::num_rows() const { return main_live_ + delta_keys_.size(); }
 
 void DeltaStoreLayout::MaybeMerge() {

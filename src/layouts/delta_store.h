@@ -40,6 +40,16 @@ class DeltaStoreLayout final : public LayoutEngine {
   size_t Delete(Value key) override;
   bool UpdateKey(Value old_key, Value new_key) override;
 
+  /// Batched writes: insert runs append to the delta in bulk with a single
+  /// merge check at the end of the run (vs one per insert), so a large batch
+  /// triggers at most one merge. Logical content matches one-by-one
+  /// application exactly; only merge *timing* (merge_count) may differ.
+  /// Deletes prefer the delta via swap-remove — order-sensitive — so they
+  /// barrier, as do queries and updates.
+  BatchResult ApplyBatch(const Operation* ops, size_t n,
+                         ThreadPool* pool = nullptr) override;
+  using LayoutEngine::ApplyBatch;
+
   size_t num_rows() const override;
   size_t num_payload_columns() const override { return main_payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;

@@ -1,0 +1,57 @@
+#include "layouts/layout_engine.h"
+
+namespace casper {
+
+void KeyDerivedPayload(Value key, size_t num_columns, std::vector<Payload>* out) {
+  out->resize(num_columns);
+  const uint64_t base = static_cast<uint64_t>(key < 0 ? -key : key);
+  for (size_t c = 0; c < num_columns; ++c) {
+    (*out)[c] = static_cast<Payload>((base * (c + 1)) % 10000);
+  }
+}
+
+std::vector<size_t> DefaultSumColumns(const LayoutEngine& engine) {
+  std::vector<size_t> cols;
+  const size_t n = engine.num_payload_columns() < 2 ? engine.num_payload_columns() : 2;
+  for (size_t c = 0; c < n; ++c) cols.push_back(c);
+  return cols;
+}
+
+void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result) {
+  switch (op.kind) {
+    case OpKind::kPointQuery:
+      result->query_checksum += engine.PointLookup(op.a, nullptr);
+      break;
+    case OpKind::kRangeCount:
+      result->query_checksum += engine.CountRange(op.a, op.b);
+      break;
+    case OpKind::kRangeSum:
+      result->query_checksum += static_cast<uint64_t>(
+          engine.SumPayloadRange(op.a, op.b, DefaultSumColumns(engine)));
+      break;
+    case OpKind::kInsert: {
+      std::vector<Payload> payload;
+      KeyDerivedPayload(op.a, engine.num_payload_columns(), &payload);
+      engine.Insert(op.a, payload);
+      ++result->inserts;
+      break;
+    }
+    case OpKind::kDelete:
+      result->deletes += engine.Delete(op.a);
+      break;
+    case OpKind::kUpdate:
+      result->updates += engine.UpdateKey(op.a, op.b) ? 1 : 0;
+      break;
+  }
+}
+
+BatchResult LayoutEngine::ApplyBatch(const Operation* ops, size_t n,
+                                     ThreadPool* /*pool*/) {
+  // Serial fallback: apply in order. Layouts with a routable write path
+  // (partitioned, no-order, sorted, delta) override with grouped variants.
+  BatchResult result;
+  for (size_t i = 0; i < n; ++i) ApplyOperation(*this, ops[i], &result);
+  return result;
+}
+
+}  // namespace casper

@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "storage/types.h"
+#include "workload/ops.h"
 
 namespace casper {
+
+class ThreadPool;
 
 /// The six operation modes evaluated in the paper (§7, Fig. 12):
 enum class LayoutMode {
@@ -33,9 +36,31 @@ struct LayoutMemoryStats {
   }
 };
 
+/// Outcome of a batched operation run (LayoutEngine::ApplyBatch).
+struct BatchResult {
+  size_t inserts = 0;  ///< rows inserted (inserts always succeed)
+  size_t deletes = 0;  ///< rows actually deleted
+  size_t updates = 0;  ///< updates that found their key
+  /// Rolling sum over read-op results, same mixing as the harness checksum
+  /// (point-lookup match counts, range counts, range sums).
+  uint64_t query_checksum = 0;
+};
+
+/// Deterministic payload for rows inserted through the batched API:
+/// payload[c] = (|key| * (c + 1)) % 10000, the harness's key-derived scheme.
+/// Duplicate keys carry identical payloads, so any reordering of physical
+/// duplicates (across layouts or batching strategies) is unobservable.
+void KeyDerivedPayload(Value key, size_t num_columns, std::vector<Payload>* out);
+
 /// Storage-engine access-path interface shared by every layout — the
 /// "physical benchmark" surface of the HAP benchmark (paper §7.1). All
 /// layouts store the same logical table: key column a0 plus payload columns.
+///
+/// Beyond the per-operation surface, every layout exposes a *sharded* read
+/// surface (NumShards + the *Shard methods) consumed by the morsel-driven
+/// executor in exec/, and a batched write surface (ApplyBatch). Layouts that
+/// cannot shard (a single sorted run) inherit the serial fallbacks: one
+/// shard, batch applied op-by-op.
 class LayoutEngine {
  public:
   virtual ~LayoutEngine() = default;
@@ -76,7 +101,91 @@ class LayoutEngine {
 
   /// Structural self-check (test hook); default no-op.
   virtual void ValidateInvariants() const {}
+
+  // --- Sharded read surface (morsel-driven execution, exec/) ---------------
+
+  /// Number of independently scannable shards. Partitioned layouts shard by
+  /// column chunk, NoOrder by fixed row morsels; Sorted and the delta store
+  /// are a single shard (serial fallback). Shard counts may change across
+  /// writes; they are only stable between writes.
+  virtual size_t NumShards() const { return 1; }
+
+  /// Per-shard slice of CountRange. Summing over all shards (in any order)
+  /// equals CountRange(lo, hi). Default: single-shard passthrough.
+  virtual uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const {
+    return shard == 0 ? CountRange(lo, hi) : 0;
+  }
+
+  /// Per-shard slice of SumPayloadRange.
+  virtual int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                                       const std::vector<size_t>& cols) const {
+    return shard == 0 ? SumPayloadRange(lo, hi, cols) : 0;
+  }
+
+  /// Per-shard slice of TpchQ6.
+  virtual int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
+                              Payload disc_hi, Payload qty_max) const {
+    return shard == 0 ? TpchQ6(lo, hi, disc_lo, disc_hi, qty_max) : 0;
+  }
+
+  /// Per-shard slice of a full scan (live rows visited in this shard).
+  uint64_t ScanShard(size_t shard) const {
+    return CountRangeShard(shard, kMinValue + 1, kMaxValue);
+  }
+
+  // --- Batched write surface -----------------------------------------------
+
+  /// Applies `n` operations with results identical to applying them in order
+  /// one-by-one (inserts take key-derived payloads). Implementations group
+  /// maximal runs of inserts/deletes by destination shard to amortize
+  /// routing, and may fan shard groups out over `pool`; queries and updates
+  /// act as barriers. The default applies the batch serially op-by-op.
+  virtual BatchResult ApplyBatch(const Operation* ops, size_t n,
+                                 ThreadPool* pool = nullptr);
+  BatchResult ApplyBatch(const std::vector<Operation>& ops,
+                         ThreadPool* pool = nullptr) {
+    return ApplyBatch(ops.data(), ops.size(), pool);
+  }
 };
+
+/// Applies one operation through the per-op surface, folding the outcome
+/// into `result` exactly as ApplyBatch does (shared by the serial fallback,
+/// batch barriers, and equivalence tests). Inserts use KeyDerivedPayload;
+/// range sums aggregate DefaultSumColumns.
+void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result);
+
+/// Payload columns aggregated by kRangeSum in batched execution: the first
+/// two, clipped to the table's width (the harness's q3 default).
+std::vector<size_t> DefaultSumColumns(const LayoutEngine& engine);
+
+/// Shared ApplyBatch skeleton for layouts whose only groupable run is
+/// consecutive inserts (NoOrder, Sorted, delta store): buffers kInsert keys,
+/// calls flush(keys) before any other op kind (the barrier) and at batch
+/// end, and applies barrier ops via ApplyOperation. flush must apply the
+/// keyed inserts with KeyDerivedPayload rows; the skeleton does the insert
+/// accounting.
+template <typename FlushFn>
+BatchResult ApplyBatchInsertRuns(LayoutEngine& engine, const Operation* ops,
+                                 size_t n, FlushFn&& flush_run) {
+  BatchResult result;
+  std::vector<Value> pending;
+  auto flush = [&] {
+    if (pending.empty()) return;
+    flush_run(pending);
+    result.inserts += pending.size();
+    pending.clear();
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (ops[i].kind == OpKind::kInsert) {
+      pending.push_back(ops[i].a);
+    } else {
+      flush();
+      ApplyOperation(engine, ops[i], &result);
+    }
+  }
+  flush();
+  return result;
+}
 
 }  // namespace casper
 

@@ -98,7 +98,7 @@ std::unique_ptr<LayoutEngine> BuildPartitioned(
     CASPER_CHECK_MSG(options.training != nullptr,
                      "Casper mode needs a training workload sample");
     WorkloadCapture capture(keys, counts, options.block_values);
-    capture.CaptureAll(*options.training);
+    capture.CaptureAll(*options.training, options.pool);
 
     PlannerOptions planner = options.planner;
     planner.ghost_fraction = options.ghost_fraction;

@@ -61,8 +61,14 @@ struct LayoutBuildOptions {
   /// Training workload for Casper mode (required for kCasper).
   const std::vector<Operation>* training = nullptr;
 
-  /// Optional pool for parallel per-chunk planning (paper §6.3).
+  /// Optional pool threaded through the whole stack: parallel per-chunk
+  /// frequency-model capture and layout planning at build time (paper §6.3),
+  /// then morsel-driven scan fan-out and chunk-grouped batched writes.
   ThreadPool* pool = nullptr;
+
+  /// When pool is null and exec_threads > 1, CasperEngine::Open creates and
+  /// owns a pool of this many threads. 0 (default) = fully serial.
+  size_t exec_threads = 0;
 };
 
 /// Builds a layout engine over the given rows (keys may be unsorted; every

@@ -62,6 +62,58 @@ int64_t NoOrderLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_
   return sum;
 }
 
+uint64_t NoOrderLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+  const auto [begin, end] = MorselBounds(shard);
+  uint64_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    count += (keys_[i] >= lo && keys_[i] < hi);
+  }
+  return count;
+}
+
+int64_t NoOrderLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                                            const std::vector<size_t>& cols) const {
+  const auto [begin, end] = MorselBounds(shard);
+  int64_t sum = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (keys_[i] >= lo && keys_[i] < hi) {
+      for (const size_t c : cols) sum += payload_[c][i];
+    }
+  }
+  return sum;
+}
+
+int64_t NoOrderLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
+                                   Payload disc_lo, Payload disc_hi,
+                                   Payload qty_max) const {
+  if (payload_.size() < 3) return 0;
+  const auto [begin, end] = MorselBounds(shard);
+  const auto& qty = payload_[0];
+  const auto& disc = payload_[1];
+  const auto& price = payload_[2];
+  int64_t sum = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (keys_[i] >= lo && keys_[i] < hi && disc[i] >= disc_lo &&
+        disc[i] <= disc_hi && qty[i] < qty_max) {
+      sum += static_cast<int64_t>(price[i]) * disc[i];
+    }
+  }
+  return sum;
+}
+
+BatchResult NoOrderLayout::ApplyBatch(const Operation* ops, size_t n,
+                                      ThreadPool* /*pool*/) {
+  std::vector<Payload> row;
+  return ApplyBatchInsertRuns(*this, ops, n, [&](const std::vector<Value>& run) {
+    keys_.reserve(keys_.size() + run.size());
+    for (const Value key : run) {
+      keys_.push_back(key);
+      KeyDerivedPayload(key, payload_.size(), &row);
+      for (size_t c = 0; c < payload_.size(); ++c) payload_[c].push_back(row[c]);
+    }
+  });
+}
+
 void NoOrderLayout::Insert(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == payload_.size());
   keys_.push_back(key);

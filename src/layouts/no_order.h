@@ -1,6 +1,7 @@
 #ifndef CASPER_LAYOUTS_NO_ORDER_H_
 #define CASPER_LAYOUTS_NO_ORDER_H_
 
+#include <utility>
 #include <vector>
 
 #include "layouts/layout_engine.h"
@@ -27,12 +28,38 @@ class NoOrderLayout final : public LayoutEngine {
   size_t Delete(Value key) override;
   bool UpdateKey(Value old_key, Value new_key) override;
 
+  // Sharded read surface: fixed-width row morsels over the insertion-order
+  // arrays (there is no key structure to shard by).
+  static constexpr size_t kMorselRows = size_t{1} << 16;
+  size_t NumShards() const override {
+    return keys_.empty() ? 1 : (keys_.size() + kMorselRows - 1) / kMorselRows;
+  }
+  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
+  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                               const std::vector<size_t>& cols) const override;
+  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
+                      Payload disc_hi, Payload qty_max) const override;
+
+  /// Batched writes: insert runs bulk-append (one reserve, no per-op
+  /// routing); deletes swap-remove and are order-sensitive, so they barrier.
+  BatchResult ApplyBatch(const Operation* ops, size_t n,
+                         ThreadPool* pool = nullptr) override;
+  using LayoutEngine::ApplyBatch;
+
   size_t num_rows() const override { return keys_.size(); }
   size_t num_payload_columns() const override { return payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
 
  private:
+  /// Row window [begin, end) of a shard.
+  std::pair<size_t, size_t> MorselBounds(size_t shard) const {
+    const size_t begin = shard * kMorselRows;
+    const size_t end = begin + kMorselRows < keys_.size() ? begin + kMorselRows
+                                                          : keys_.size();
+    return {begin < keys_.size() ? begin : keys_.size(), end};
+  }
+
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;  // [col][row]
 };

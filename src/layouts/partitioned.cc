@@ -1,0 +1,44 @@
+#include "layouts/partitioned.h"
+
+#include <utility>
+
+namespace casper {
+
+BatchResult PartitionedLayout::ApplyBatch(const Operation* ops, size_t n,
+                                          ThreadPool* pool) {
+  BatchResult result;
+  std::vector<PartitionedTable::BatchWrite> run;
+  auto flush = [&] {
+    if (run.empty()) return;
+    result.deletes += table_.ApplyWriteRun(run, pool);
+    run.clear();
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const Operation& op = ops[i];
+    switch (op.kind) {
+      case OpKind::kInsert: {
+        PartitionedTable::BatchWrite w;
+        w.key = op.a;
+        w.is_insert = true;
+        KeyDerivedPayload(op.a, num_payload_columns(), &w.payload);
+        run.push_back(std::move(w));
+        ++result.inserts;
+        break;
+      }
+      case OpKind::kDelete: {
+        PartitionedTable::BatchWrite w;
+        w.key = op.a;
+        run.push_back(std::move(w));
+        break;
+      }
+      default:
+        // Queries and updates barrier the pending write run.
+        flush();
+        ApplyOperation(*this, op, &result);
+    }
+  }
+  flush();
+  return result;
+}
+
+}  // namespace casper

@@ -42,6 +42,29 @@ class PartitionedLayout final : public LayoutEngine {
     return table_.UpdateKey(old_key, new_key);
   }
 
+  // Sharded read surface: one shard per column chunk (chunks are the
+  // independent layout/tuning unit of paper §4.4, and here the independent
+  // execution unit too).
+  size_t NumShards() const override { return table_.num_chunks(); }
+  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override {
+    return table_.CountRangeInChunk(shard, lo, hi);
+  }
+  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                               const std::vector<size_t>& cols) const override {
+    return table_.SumPayloadRangeInChunk(shard, lo, hi, cols);
+  }
+  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
+                      Payload disc_hi, Payload qty_max) const override {
+    return table_.TpchQ6InChunk(shard, lo, hi, disc_lo, disc_hi, qty_max);
+  }
+
+  /// Batched writes: maximal insert/delete runs are grouped by destination
+  /// chunk and applied chunk-parallel; queries and (possibly cross-chunk)
+  /// updates are barriers.
+  BatchResult ApplyBatch(const Operation* ops, size_t n,
+                         ThreadPool* pool = nullptr) override;
+  using LayoutEngine::ApplyBatch;
+
   size_t num_rows() const override { return table_.num_rows(); }
   size_t num_payload_columns() const override {
     return table_.num_payload_columns();

@@ -100,6 +100,50 @@ bool SortedLayout::UpdateKey(Value old_key, Value new_key) {
   return true;
 }
 
+void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
+  std::vector<Value> sorted_batch = batch_keys;
+  std::stable_sort(sorted_batch.begin(), sorted_batch.end());
+
+  const size_t total = keys_.size() + sorted_batch.size();
+  std::vector<Value> merged_keys;
+  merged_keys.reserve(total);
+  std::vector<std::vector<Payload>> merged_payload(payload_.size());
+  for (auto& col : merged_payload) col.reserve(total);
+
+  std::vector<Payload> row;
+  size_t mi = 0;
+  size_t bi = 0;
+  while (mi < keys_.size() || bi < sorted_batch.size()) {
+    // Tie-break toward the existing run: upper_bound placement, so the batch
+    // lands exactly where sequential Insert calls would have put it.
+    const bool take_main = mi < keys_.size() &&
+                           (bi >= sorted_batch.size() ||
+                            keys_[mi] <= sorted_batch[bi]);
+    if (take_main) {
+      merged_keys.push_back(keys_[mi]);
+      for (size_t c = 0; c < payload_.size(); ++c) {
+        merged_payload[c].push_back(payload_[c][mi]);
+      }
+      ++mi;
+    } else {
+      merged_keys.push_back(sorted_batch[bi]);
+      KeyDerivedPayload(sorted_batch[bi], payload_.size(), &row);
+      for (size_t c = 0; c < payload_.size(); ++c) {
+        merged_payload[c].push_back(row[c]);
+      }
+      ++bi;
+    }
+  }
+  keys_ = std::move(merged_keys);
+  payload_ = std::move(merged_payload);
+}
+
+BatchResult SortedLayout::ApplyBatch(const Operation* ops, size_t n,
+                                     ThreadPool* /*pool*/) {
+  return ApplyBatchInsertRuns(
+      *this, ops, n, [&](const std::vector<Value>& run) { MergeInsertRun(run); });
+}
+
 LayoutMemoryStats SortedLayout::MemoryStats() const {
   LayoutMemoryStats s;
   s.data_bytes = keys_.size() * sizeof(Value) +

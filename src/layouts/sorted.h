@@ -27,12 +27,23 @@ class SortedLayout final : public LayoutEngine {
   size_t Delete(Value key) override;
   bool UpdateKey(Value old_key, Value new_key) override;
 
+  /// Batched writes: an insert run is stably sorted and merged in one
+  /// O(n + k log k) pass instead of k O(n) tail shifts. Placement matches
+  /// sequential Insert exactly (upper_bound: new rows land after existing
+  /// equals, batch order preserved among themselves). Reads can't shard — a
+  /// single sorted run has no independent pieces — so NumShards stays 1.
+  BatchResult ApplyBatch(const Operation* ops, size_t n,
+                         ThreadPool* pool = nullptr) override;
+  using LayoutEngine::ApplyBatch;
+
   size_t num_rows() const override { return keys_.size(); }
   size_t num_payload_columns() const override { return payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
 
  private:
+  void MergeInsertRun(const std::vector<Value>& batch_keys);
+
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;
 };

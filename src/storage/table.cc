@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace casper {
 
@@ -120,12 +121,15 @@ uint64_t PartitionedTable::CountRange(Value lo, Value hi) const {
   if (lo >= hi) return 0;
   uint64_t count = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {
-    const bool is_last = (c + 1 == chunks_.size());
-    if (!is_last && chunk_uppers_[c] < lo) continue;
-    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
-    count += chunks_[c].keys.CountRange(lo, hi);
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;  // entirely above
+    count += CountRangeInChunk(c, lo, hi);
   }
   return count;
+}
+
+uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const {
+  if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  return chunks_[c].keys.CountRange(lo, hi);
 }
 
 int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
@@ -133,28 +137,34 @@ int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
   if (lo >= hi) return 0;
   int64_t sum = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {
-    const bool is_last_chunk = (c + 1 == chunks_.size());
-    if (!is_last_chunk && chunk_uppers_[c] < lo) continue;
     if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
-    const auto& chunk = chunks_[c].keys;
-    if (chunk.size() == 0) continue;
-    const Value* keys = chunk.raw_data().data();
-    const size_t first = chunk.RoutePartition(lo);
-    const size_t last = chunk.RoutePartition(hi - 1);
-    for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
-      const auto& p = chunk.partition(t);
-      if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
-      const size_t begin = p.begin;
-      const size_t end = p.begin + p.size;
-      for (const size_t col : cols) {
-        const Payload* data = chunks_[c].payload[col].data();
-        if (t == first || t == last) {
-          for (size_t s = begin; s < end; ++s) {
-            if (keys[s] >= lo && keys[s] < hi) sum += data[s];
-          }
-        } else {
-          for (size_t s = begin; s < end; ++s) sum += data[s];
+    sum += SumPayloadRangeInChunk(c, lo, hi, cols);
+  }
+  return sum;
+}
+
+int64_t PartitionedTable::SumPayloadRangeInChunk(
+    size_t c, Value lo, Value hi, const std::vector<size_t>& cols) const {
+  if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  const auto& chunk = chunks_[c].keys;
+  if (chunk.size() == 0) return 0;
+  int64_t sum = 0;
+  const Value* keys = chunk.raw_data().data();
+  const size_t first = chunk.RoutePartition(lo);
+  const size_t last = chunk.RoutePartition(hi - 1);
+  for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
+    const auto& p = chunk.partition(t);
+    if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
+    const size_t begin = p.begin;
+    const size_t end = p.begin + p.size;
+    for (const size_t col : cols) {
+      const Payload* data = chunks_[c].payload[col].data();
+      if (t == first || t == last) {
+        for (size_t s = begin; s < end; ++s) {
+          if (keys[s] >= lo && keys[s] < hi) sum += data[s];
         }
+      } else {
+        for (size_t s = begin; s < end; ++s) sum += data[s];
       }
     }
   }
@@ -166,35 +176,42 @@ int64_t PartitionedTable::TpchQ6(Value lo, Value hi, Payload disc_lo,
   if (payload_cols_ < 3 || lo >= hi) return 0;
   int64_t sum = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {
-    const bool is_last_chunk = (c + 1 == chunks_.size());
-    if (!is_last_chunk && chunk_uppers_[c] < lo) continue;
     if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
-    const auto& chunk = chunks_[c].keys;
-    if (chunk.size() == 0) continue;
-    const Value* keys = chunk.raw_data().data();
-    const Payload* qty = chunks_[c].payload[0].data();
-    const Payload* disc = chunks_[c].payload[1].data();
-    const Payload* price = chunks_[c].payload[2].data();
-    const size_t first = chunk.RoutePartition(lo);
-    const size_t last = chunk.RoutePartition(hi - 1);
-    for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
-      const auto& p = chunk.partition(t);
-      if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
-      const size_t begin = p.begin;
-      const size_t end = p.begin + p.size;
-      if (t == first || t == last) {
-        for (size_t s = begin; s < end; ++s) {
-          if (keys[s] >= lo && keys[s] < hi && disc[s] >= disc_lo &&
-              disc[s] <= disc_hi && qty[s] < qty_max) {
-            sum += static_cast<int64_t>(price[s]) * disc[s];
-          }
+    sum += TpchQ6InChunk(c, lo, hi, disc_lo, disc_hi, qty_max);
+  }
+  return sum;
+}
+
+int64_t PartitionedTable::TpchQ6InChunk(size_t c, Value lo, Value hi,
+                                        Payload disc_lo, Payload disc_hi,
+                                        Payload qty_max) const {
+  if (payload_cols_ < 3 || lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  const auto& chunk = chunks_[c].keys;
+  if (chunk.size() == 0) return 0;
+  int64_t sum = 0;
+  const Value* keys = chunk.raw_data().data();
+  const Payload* qty = chunks_[c].payload[0].data();
+  const Payload* disc = chunks_[c].payload[1].data();
+  const Payload* price = chunks_[c].payload[2].data();
+  const size_t first = chunk.RoutePartition(lo);
+  const size_t last = chunk.RoutePartition(hi - 1);
+  for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
+    const auto& p = chunk.partition(t);
+    if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
+    const size_t begin = p.begin;
+    const size_t end = p.begin + p.size;
+    if (t == first || t == last) {
+      for (size_t s = begin; s < end; ++s) {
+        if (keys[s] >= lo && keys[s] < hi && disc[s] >= disc_lo &&
+            disc[s] <= disc_hi && qty[s] < qty_max) {
+          sum += static_cast<int64_t>(price[s]) * disc[s];
         }
-      } else {
-        // Middle partitions fully qualify on the key: payload-only filter.
-        for (size_t s = begin; s < end; ++s) {
-          if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
-            sum += static_cast<int64_t>(price[s]) * disc[s];
-          }
+      }
+    } else {
+      // Middle partitions fully qualify on the key: payload-only filter.
+      for (size_t s = begin; s < end; ++s) {
+        if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
+          sum += static_cast<int64_t>(price[s]) * disc[s];
         }
       }
     }
@@ -287,6 +304,54 @@ bool PartitionedTable::UpdateKey(Value old_key, Value new_key) {
   chunks_[c_new].keys.Insert(new_key, &ins_log);
   ApplyMoveLog(chunks_[c_new], ins_log, &row, nullptr);
   return true;
+}
+
+size_t PartitionedTable::ApplyWriteRun(const std::vector<BatchWrite>& run,
+                                       ThreadPool* pool) {
+  // Route once: bucket op indices by destination chunk. Bucketing is stable,
+  // so ops sharing a chunk (in particular, ops on the same key) keep their
+  // relative order; ops on different chunks commute.
+  std::vector<std::vector<uint32_t>> by_chunk(chunks_.size());
+  for (size_t i = 0; i < run.size(); ++i) {
+    if (run[i].is_insert) CASPER_CHECK(run[i].payload.size() == payload_cols_);
+    by_chunk[RouteChunk(run[i].key)].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<size_t> touched;
+  for (size_t c = 0; c < by_chunk.size(); ++c) {
+    if (!by_chunk[c].empty()) touched.push_back(c);
+  }
+
+  std::vector<size_t> inserted(chunks_.size(), 0);
+  std::vector<size_t> removed(chunks_.size(), 0);
+  auto apply_chunk = [&](size_t c) {
+    MoveLog log;
+    for (const uint32_t idx : by_chunk[c]) {
+      const BatchWrite& w = run[idx];
+      log.Clear();
+      if (w.is_insert) {
+        chunks_[c].keys.Insert(w.key, &log);
+        ApplyMoveLog(chunks_[c], log, &w.payload, nullptr);
+        ++inserted[c];
+      } else if (chunks_[c].keys.DeleteOne(w.key, &log) > 0) {
+        ApplyMoveLog(chunks_[c], log, nullptr, nullptr);
+        ++removed[c];
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && touched.size() > 1) {
+    pool->ParallelFor(touched.size(), [&](size_t i) { apply_chunk(touched[i]); });
+  } else {
+    for (const size_t c : touched) apply_chunk(c);
+  }
+
+  size_t deleted = 0;
+  for (const size_t c : touched) {
+    rows_ += inserted[c];
+    rows_ -= removed[c];
+    deleted += removed[c];
+  }
+  return deleted;
 }
 
 size_t PartitionedTable::MemoryBytes() const {

@@ -9,6 +9,8 @@
 
 namespace casper {
 
+class ThreadPool;
+
 /// A column-group table in the HAP schema: one key column a0 (the sort /
 /// partition attribute) plus `p` fixed-width payload columns a1..ap.
 /// The key column is a sequence of range-partitioned chunks (1M values each
@@ -72,6 +74,32 @@ class PartitionedTable {
   int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                  Payload qty_max) const;
 
+  // --- Per-chunk read surface (morsel-driven execution) ----------------------
+  // Each method is the chunk-c slice of the corresponding whole-table query:
+  // summing over all chunks (in any order) reproduces the serial answer. A
+  // chunk outside the key range contributes 0 after an O(1) bounds check.
+  // Distinct chunks touch disjoint state, so shards may run concurrently —
+  // but only one query at a time (per-chunk access counters are unguarded).
+
+  /// COUNT(*) WHERE key in [lo, hi), restricted to chunk c.
+  uint64_t CountRangeInChunk(size_t c, Value lo, Value hi) const;
+
+  /// SUM over `cols` WHERE key in [lo, hi), restricted to chunk c.
+  int64_t SumPayloadRangeInChunk(size_t c, Value lo, Value hi,
+                                 const std::vector<size_t>& cols) const;
+
+  /// TPC-H Q6 shape, restricted to chunk c.
+  int64_t TpchQ6InChunk(size_t c, Value lo, Value hi, Payload disc_lo,
+                        Payload disc_hi, Payload qty_max) const;
+
+  /// O(1) key-range overlap test against the chunk routing bounds.
+  bool ChunkOverlapsRange(size_t c, Value lo, Value hi) const {
+    const bool is_last = (c + 1 == chunks_.size());
+    if (!is_last && chunk_uppers_[c] < lo) return false;      // entirely below
+    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) return false;  // entirely above
+    return true;
+  }
+
   /// Visits every qualifying row: fn(chunk_index, slot, key).
   template <typename Fn>
   void ForEachRowInRange(Value lo, Value hi, Fn&& fn) const;
@@ -91,6 +119,23 @@ class PartitionedTable {
 
   /// Q6: move one row from old_key to new_key (primary-key correction).
   bool UpdateKey(Value old_key, Value new_key);
+
+  /// One row of a batched write run.
+  struct BatchWrite {
+    Value key = 0;
+    bool is_insert = false;  ///< false = delete-one
+    std::vector<Payload> payload;  ///< inserts only; one entry per column
+  };
+
+  /// Applies a run of inserts/deletes with results identical to applying
+  /// them in order one-by-one. The run is routed once (one binary search per
+  /// op, stable within each chunk) and then applied chunk-by-chunk — legal
+  /// because inserts/deletes on different chunks touch disjoint state and
+  /// same-key ops always share a chunk, keeping their relative order. With a
+  /// pool, chunk groups run concurrently (morsel over the touched chunks).
+  /// Returns the number of rows actually deleted.
+  size_t ApplyWriteRun(const std::vector<BatchWrite>& run,
+                       ThreadPool* pool = nullptr);
 
   // --- Introspection -----------------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace casper {
 
@@ -61,11 +62,13 @@ WorkloadCapture::Location WorkloadCapture::Locate(Value v) const {
   return {chunk, block};
 }
 
-void WorkloadCapture::Capture(const Operation& op) {
+template <typename Emit>
+void WorkloadCapture::Route(const Operation& op, Emit&& emit) const {
+  const auto block32 = [](size_t b) { return static_cast<uint32_t>(b); };
   switch (op.kind) {
     case OpKind::kPointQuery: {
       const Location l = Locate(op.a);
-      models_[l.chunk].AddPointQuery(l.block);
+      emit(l.chunk, Event{Event::kPoint, block32(l.block), 0});
       break;
     }
     case OpKind::kRangeCount:
@@ -74,41 +77,89 @@ void WorkloadCapture::Capture(const Operation& op) {
       const Location first = Locate(op.a);
       const Location last = Locate(op.b - 1);
       if (first.chunk == last.chunk) {
-        models_[first.chunk].AddRangeQuery(first.block, last.block);
+        emit(first.chunk,
+             Event{Event::kRange, block32(first.block), block32(last.block)});
       } else {
         // Split across chunks; each chunk sees its own sub-range.
-        models_[first.chunk].AddRangeQuery(
-            first.block, models_[first.chunk].num_blocks() - 1);
+        emit(first.chunk,
+             Event{Event::kRange, block32(first.block),
+                   block32(models_[first.chunk].num_blocks() - 1)});
         for (size_t c = first.chunk + 1; c < last.chunk; ++c) {
-          models_[c].AddRangeQuery(0, models_[c].num_blocks() - 1);
+          emit(c, Event{Event::kRange, 0, block32(models_[c].num_blocks() - 1)});
         }
-        models_[last.chunk].AddRangeQuery(0, last.block);
+        emit(last.chunk, Event{Event::kRange, 0, block32(last.block)});
       }
       break;
     }
     case OpKind::kInsert: {
       const Location l = Locate(op.a);
-      models_[l.chunk].AddInsert(l.block);
+      emit(l.chunk, Event{Event::kInsert, block32(l.block), 0});
       break;
     }
     case OpKind::kDelete: {
       const Location l = Locate(op.a);
-      models_[l.chunk].AddDelete(l.block);
+      emit(l.chunk, Event{Event::kDelete, block32(l.block), 0});
       break;
     }
     case OpKind::kUpdate: {
       const Location from = Locate(op.a);
       const Location to = Locate(op.b);
       if (from.chunk == to.chunk) {
-        models_[from.chunk].AddUpdate(from.block, to.block);
+        emit(from.chunk,
+             Event{Event::kUpdate, block32(from.block), block32(to.block)});
       } else {
         // Cross-chunk updates execute as delete + insert.
-        models_[from.chunk].AddDelete(from.block);
-        models_[to.chunk].AddInsert(to.block);
+        emit(from.chunk, Event{Event::kDelete, block32(from.block), 0});
+        emit(to.chunk, Event{Event::kInsert, block32(to.block), 0});
       }
       break;
     }
   }
+}
+
+void WorkloadCapture::ApplyEvent(size_t chunk, const Event& e) {
+  FrequencyModel& fm = models_[chunk];
+  switch (e.kind) {
+    case Event::kPoint:
+      fm.AddPointQuery(e.a);
+      break;
+    case Event::kRange:
+      fm.AddRangeQuery(e.a, e.b);
+      break;
+    case Event::kInsert:
+      fm.AddInsert(e.a);
+      break;
+    case Event::kDelete:
+      fm.AddDelete(e.a);
+      break;
+    case Event::kUpdate:
+      fm.AddUpdate(e.a, e.b);
+      break;
+  }
+}
+
+void WorkloadCapture::Capture(const Operation& op) {
+  Route(op, [this](size_t chunk, const Event& e) { ApplyEvent(chunk, e); });
+}
+
+void WorkloadCapture::CaptureAll(const std::vector<Operation>& ops,
+                                 ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 || models_.size() <= 1) {
+    CaptureAll(ops);
+    return;
+  }
+  // Serial routing pass (binary searches only), then per-chunk histogram
+  // building in parallel. Each chunk's events stay in stream order, so the
+  // resulting models are bit-identical to the serial capture.
+  std::vector<std::vector<Event>> buckets(models_.size());
+  for (const Operation& op : ops) {
+    Route(op, [&buckets](size_t chunk, const Event& e) {
+      buckets[chunk].push_back(e);
+    });
+  }
+  pool->ParallelFor(models_.size(), [&](size_t c) {
+    for (const Event& e : buckets[c]) ApplyEvent(c, e);
+  });
 }
 
 }  // namespace casper

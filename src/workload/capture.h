@@ -10,6 +10,8 @@
 
 namespace casper {
 
+class ThreadPool;
+
 /// Builds per-chunk Frequency Models from a sample workload without
 /// executing or materializing anything (paper §4.2: "we capture the access
 /// patterns as if each operation is executed on the initial dataset").
@@ -33,6 +35,13 @@ class WorkloadCapture {
     for (const auto& op : ops) Capture(op);
   }
 
+  /// Parallel capture: a serial routing pass buckets per-chunk block events,
+  /// then each chunk builds its histograms independently over the pool
+  /// (chunks are independent sub-problems, paper §6.3). Produces models
+  /// identical to the serial CaptureAll — each chunk replays its events in
+  /// stream order on a single thread. Null pool falls back to serial.
+  void CaptureAll(const std::vector<Operation>& ops, ThreadPool* pool);
+
   const std::vector<FrequencyModel>& models() const { return models_; }
   std::vector<FrequencyModel>& mutable_models() { return models_; }
 
@@ -44,6 +53,19 @@ class WorkloadCapture {
     size_t chunk;
     size_t block;
   };
+  /// One routed access: an operation's footprint inside a single chunk.
+  struct Event {
+    enum Kind : uint8_t { kPoint, kRange, kInsert, kDelete, kUpdate };
+    Kind kind;
+    uint32_t a = 0;  ///< block (point/insert/delete), first/from block (range/update)
+    uint32_t b = 0;  ///< last/to block (range/update)
+  };
+  /// Routes one operation into per-chunk events: emit(chunk, event).
+  /// Capture() applies them immediately; the parallel path buckets them.
+  template <typename Emit>
+  void Route(const Operation& op, Emit&& emit) const;
+  void ApplyEvent(size_t chunk, const Event& e);
+
   /// Chunk/block a key maps to (clamped into the dataset).
   Location Locate(Value v) const;
   /// Global sorted position of v (first key >= v).

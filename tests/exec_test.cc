@@ -1,0 +1,324 @@
+// Tests for the sharded parallel execution layer (src/exec/): morsel-driven
+// reads must be bit-identical to serial execution across all six layouts,
+// and the batched write surface must be indistinguishable from applying the
+// same operations one-by-one (randomized, seeded).
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/casper_engine.h"
+#include "engine/harness.h"
+#include "exec/parallel_executor.h"
+#include "layouts/layout_factory.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/capture.h"
+#include "workload/generator.h"
+#include "workload/hap.h"
+
+namespace casper {
+namespace {
+
+std::vector<LayoutMode> AllModes() {
+  return {LayoutMode::kNoOrder,   LayoutMode::kSorted,
+          LayoutMode::kDeltaStore, LayoutMode::kEquiWidth,
+          LayoutMode::kEquiWidthGhost, LayoutMode::kCasper};
+}
+
+struct Fixture {
+  hap::Dataset data;
+  std::vector<Operation> training;
+};
+
+Fixture MakeFixture(size_t rows, uint64_t seed) {
+  Fixture f;
+  Rng data_rng(seed);
+  f.data = hap::MakeDataset(rows, 3, data_rng);
+  auto spec = hap::MakeSpec(hap::Workload::kHybridSkewed, f.data.domain_lo,
+                            f.data.domain_hi);
+  Rng train_rng(seed + 1);
+  f.training = GenerateWorkload(spec, 1500, train_rng);
+  return f;
+}
+
+std::unique_ptr<LayoutEngine> BuildMode(LayoutMode mode, const Fixture& f) {
+  LayoutBuildOptions opts;
+  opts.mode = mode;
+  opts.chunk_values = 4096;   // many chunks -> many shards at test scale
+  opts.block_values = 128;
+  opts.calibrate_costs = false;  // deterministic plans
+  opts.training = &f.training;
+  return BuildLayout(opts, f.data.keys, f.data.payload);
+}
+
+/// Seeded mixed op stream covering all six kinds (the HAP named mixes each
+/// omit some kinds, so batching edge cases — write runs broken by query and
+/// update barriers — are rolled by hand here).
+std::vector<Operation> RandomOps(size_t n, Value lo, Value hi, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  std::vector<Operation> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Operation op;
+    const Value a = lo + static_cast<Value>(rng.Below(span));
+    const uint64_t pick = rng.Below(100);
+    if (pick < 10) {
+      op.kind = OpKind::kPointQuery;
+      op.a = a;
+    } else if (pick < 20) {
+      op.kind = OpKind::kRangeCount;
+      op.a = a;
+      op.b = a + static_cast<Value>(rng.Below(span / 8 + 1)) + 1;
+    } else if (pick < 28) {
+      op.kind = OpKind::kRangeSum;
+      op.a = a;
+      op.b = a + static_cast<Value>(rng.Below(span / 8 + 1)) + 1;
+    } else if (pick < 62) {
+      op.kind = OpKind::kInsert;
+      op.a = a;
+    } else if (pick < 90) {
+      op.kind = OpKind::kDelete;
+      op.a = a;
+    } else {
+      op.kind = OpKind::kUpdate;
+      op.a = a;
+      op.b = lo + static_cast<Value>(rng.Below(span));
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST(ParallelExec, ParallelReadsBitIdenticalToSerialAcrossLayouts) {
+  const Fixture f = MakeFixture(30000, 42);
+  ThreadPool pool(4);
+  const ParallelExecutor par(&pool);
+  const ParallelExecutor ser(nullptr);
+  const Value lo = f.data.domain_lo;
+  const uint64_t span = static_cast<uint64_t>(f.data.domain_hi - lo) + 1;
+  const std::vector<size_t> cols = {0, 1};
+
+  for (const LayoutMode mode : AllModes()) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    auto engine = BuildMode(mode, f);
+    EXPECT_EQ(par.ScanAll(*engine), 30000u);
+    EXPECT_EQ(par.ScanAll(*engine), ser.ScanAll(*engine));
+
+    Rng qrng(7);
+    for (int i = 0; i < 200; ++i) {
+      const Value a = lo + static_cast<Value>(qrng.Below(span));
+      const Value b = a + static_cast<Value>(qrng.Below(span / 4 + 1)) + 1;
+      EXPECT_EQ(par.CountRange(*engine, a, b), engine->CountRange(a, b));
+      EXPECT_EQ(par.SumPayloadRange(*engine, a, b, cols),
+                engine->SumPayloadRange(a, b, cols));
+      EXPECT_EQ(par.TpchQ6(*engine, a, b, 1000, 9000, 8000),
+                engine->TpchQ6(a, b, 1000, 9000, 8000));
+    }
+  }
+}
+
+TEST(ParallelExec, NoOrderShardsByRowMorsels) {
+  // Enough rows for multiple 64K-row morsels.
+  const Fixture f = MakeFixture(150000, 11);
+  LayoutBuildOptions opts;
+  opts.mode = LayoutMode::kNoOrder;
+  auto engine = BuildLayout(opts, f.data.keys, f.data.payload);
+  EXPECT_GE(engine->NumShards(), 2u);
+
+  ThreadPool pool(3);
+  const ParallelExecutor par(&pool);
+  EXPECT_EQ(par.ScanAll(*engine), 150000u);
+  const Value mid = (f.data.domain_lo + f.data.domain_hi) / 2;
+  EXPECT_EQ(par.CountRange(*engine, f.data.domain_lo, mid),
+            engine->CountRange(f.data.domain_lo, mid));
+}
+
+TEST(ParallelExec, PartitionedShardsAreChunks) {
+  const Fixture f = MakeFixture(30000, 17);
+  auto engine = BuildMode(LayoutMode::kEquiWidthGhost, f);
+  // 30000 rows at 4096 values/chunk -> 8 chunks (duplicate-safe cuts can
+  // shift boundaries, never the count below ceil).
+  EXPECT_GE(engine->NumShards(), 7u);
+  uint64_t total = 0;
+  for (size_t s = 0; s < engine->NumShards(); ++s) total += engine->ScanShard(s);
+  EXPECT_EQ(total, 30000u);
+}
+
+TEST(ApplyBatch, EquivalentToOneByOneAcrossLayouts) {
+  const Fixture f = MakeFixture(20000, 99);
+  const auto ops =
+      RandomOps(3000, f.data.domain_lo, f.data.domain_hi, /*seed=*/1234);
+  ThreadPool pool(4);
+  const Value lo = f.data.domain_lo;
+  const uint64_t span = static_cast<uint64_t>(f.data.domain_hi - lo) + 1;
+
+  for (const LayoutMode mode : AllModes()) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    auto one_by_one = BuildMode(mode, f);
+    auto batched = BuildMode(mode, f);
+
+    BatchResult serial_result;
+    for (const Operation& op : ops) {
+      ApplyOperation(*one_by_one, op, &serial_result);
+    }
+    const BatchResult batch_result =
+        batched->ApplyBatch(ops.data(), ops.size(), &pool);
+
+    EXPECT_EQ(batch_result.inserts, serial_result.inserts);
+    EXPECT_EQ(batch_result.deletes, serial_result.deletes);
+    EXPECT_EQ(batch_result.updates, serial_result.updates);
+    EXPECT_EQ(batch_result.query_checksum, serial_result.query_checksum);
+    EXPECT_EQ(batched->num_rows(), one_by_one->num_rows());
+    one_by_one->ValidateInvariants();
+    batched->ValidateInvariants();
+
+    // Final logical state must agree everywhere, not just on the counters.
+    Rng qrng(3);
+    for (int i = 0; i < 100; ++i) {
+      const Value a = lo + static_cast<Value>(qrng.Below(span));
+      const Value b = a + static_cast<Value>(qrng.Below(span / 4 + 1)) + 1;
+      EXPECT_EQ(batched->CountRange(a, b), one_by_one->CountRange(a, b));
+      EXPECT_EQ(batched->SumPayloadRange(a, b, {0, 1}),
+                one_by_one->SumPayloadRange(a, b, {0, 1}));
+      EXPECT_EQ(batched->PointLookup(a, nullptr),
+                one_by_one->PointLookup(a, nullptr));
+    }
+  }
+}
+
+TEST(ApplyBatch, BatchSlicingDoesNotChangeResults) {
+  // Same stream, different batch boundaries -> same engine state.
+  const Fixture f = MakeFixture(10000, 5);
+  const auto ops = RandomOps(2000, f.data.domain_lo, f.data.domain_hi, 77);
+  auto a = BuildMode(LayoutMode::kCasper, f);
+  auto b = BuildMode(LayoutMode::kCasper, f);
+
+  BatchResult ra, rb;
+  for (size_t begin = 0; begin < ops.size(); begin += 64) {
+    const size_t n = std::min<size_t>(64, ops.size() - begin);
+    const BatchResult r = a->ApplyBatch(ops.data() + begin, n);
+    ra.inserts += r.inserts;
+    ra.deletes += r.deletes;
+    ra.updates += r.updates;
+    ra.query_checksum += r.query_checksum;
+  }
+  for (size_t begin = 0; begin < ops.size(); begin += 97) {
+    const size_t n = std::min<size_t>(97, ops.size() - begin);
+    const BatchResult r = b->ApplyBatch(ops.data() + begin, n);
+    rb.inserts += r.inserts;
+    rb.deletes += r.deletes;
+    rb.updates += r.updates;
+    rb.query_checksum += r.query_checksum;
+  }
+  EXPECT_EQ(ra.inserts, rb.inserts);
+  EXPECT_EQ(ra.deletes, rb.deletes);
+  EXPECT_EQ(ra.updates, rb.updates);
+  EXPECT_EQ(ra.query_checksum, rb.query_checksum);
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+}
+
+TEST(ApplyBatch, BatchedHarnessMatchesPerOpReplay) {
+  const Fixture f = MakeFixture(15000, 21);
+  const auto ops = RandomOps(2500, f.data.domain_lo, f.data.domain_hi, 555);
+  ThreadPool pool(4);
+
+  for (const LayoutMode mode :
+       {LayoutMode::kCasper, LayoutMode::kDeltaStore, LayoutMode::kSorted}) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    auto per_op_engine = BuildMode(mode, f);
+    auto batch_engine = BuildMode(mode, f);
+
+    HarnessOptions hopts;
+    hopts.record_latency = false;
+    hopts.key_derived_payload = true;  // matches the batched API's payloads
+    const HarnessResult per_op = RunWorkload(*per_op_engine, ops, hopts);
+
+    HarnessOptions bopts = hopts;
+    bopts.pool = &pool;
+    const HarnessResult batched =
+        RunWorkloadBatched(*batch_engine, ops, bopts, /*batch_size=*/128);
+
+    EXPECT_EQ(per_op.checksum, batched.checksum);
+    EXPECT_EQ(per_op_engine->num_rows(), batch_engine->num_rows());
+  }
+}
+
+TEST(Capture, ParallelCaptureBitIdenticalToSerial) {
+  const Fixture f = MakeFixture(50000, 33);
+  std::vector<Value> sorted_keys = f.data.keys;
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+
+  WorkloadCapture serial(sorted_keys, 4096, 128);
+  WorkloadCapture parallel(sorted_keys, 4096, 128);
+  serial.CaptureAll(f.training);
+  ThreadPool pool(4);
+  parallel.CaptureAll(f.training, &pool);
+
+  ASSERT_EQ(serial.num_chunks(), parallel.num_chunks());
+  for (size_t c = 0; c < serial.num_chunks(); ++c) {
+    SCOPED_TRACE(c);
+    const FrequencyModel& s = serial.models()[c];
+    const FrequencyModel& p = parallel.models()[c];
+    EXPECT_EQ(s.pq(), p.pq());
+    EXPECT_EQ(s.rs(), p.rs());
+    EXPECT_EQ(s.sc(), p.sc());
+    EXPECT_EQ(s.re(), p.re());
+    EXPECT_EQ(s.de(), p.de());
+    EXPECT_EQ(s.in(), p.in());
+    EXPECT_EQ(s.udf(), p.udf());
+    EXPECT_EQ(s.utf(), p.utf());
+    EXPECT_EQ(s.udb(), p.udb());
+    EXPECT_EQ(s.utb(), p.utb());
+    EXPECT_EQ(s.total_operations(), p.total_operations());
+  }
+}
+
+TEST(CasperEngineExec, ParallelOpenMatchesSerialOpen) {
+  const Fixture f = MakeFixture(25000, 63);
+
+  LayoutBuildOptions serial_opts;
+  serial_opts.mode = LayoutMode::kCasper;
+  serial_opts.chunk_values = 4096;
+  serial_opts.block_values = 128;
+  serial_opts.calibrate_costs = false;
+  LayoutBuildOptions parallel_opts = serial_opts;
+  parallel_opts.exec_threads = 4;
+
+  CasperEngine serial =
+      CasperEngine::Open(serial_opts, f.data.keys, f.data.payload, &f.training);
+  CasperEngine parallel = CasperEngine::Open(parallel_opts, f.data.keys,
+                                             f.data.payload, &f.training);
+  EXPECT_EQ(serial.pool(), nullptr);
+  ASSERT_NE(parallel.pool(), nullptr);
+  EXPECT_EQ(parallel.pool()->num_threads(), 4u);
+
+  EXPECT_EQ(parallel.ScanAll(), serial.ScanAll());
+  const Value lo = f.data.domain_lo;
+  const uint64_t span = static_cast<uint64_t>(f.data.domain_hi - lo) + 1;
+  Rng qrng(9);
+  for (int i = 0; i < 100; ++i) {
+    const Value a = lo + static_cast<Value>(qrng.Below(span));
+    const Value b = a + static_cast<Value>(qrng.Below(span / 4 + 1)) + 1;
+    EXPECT_EQ(parallel.CountBetween(a, b), serial.CountBetween(a, b));
+    EXPECT_EQ(parallel.SumPayloadBetween(a, b, {0, 1}),
+              serial.SumPayloadBetween(a, b, {0, 1}));
+    EXPECT_EQ(parallel.TpchQ6(a, b, 1000, 9000, 8000),
+              serial.TpchQ6(a, b, 1000, 9000, 8000));
+  }
+
+  // Batched writes through both engines leave identical logical state.
+  const auto ops = RandomOps(1500, f.data.domain_lo, f.data.domain_hi, 404);
+  const BatchResult rs = serial.ApplyBatch(ops);
+  const BatchResult rp = parallel.ApplyBatch(ops);
+  EXPECT_EQ(rs.inserts, rp.inserts);
+  EXPECT_EQ(rs.deletes, rp.deletes);
+  EXPECT_EQ(rs.updates, rp.updates);
+  EXPECT_EQ(rs.query_checksum, rp.query_checksum);
+  EXPECT_EQ(serial.num_rows(), parallel.num_rows());
+}
+
+}  // namespace
+}  // namespace casper
