@@ -8,10 +8,16 @@
 // morsel-driven scan fan-out over chunk shards (exec/) at 1/2/4/8 threads on
 // the same layout, with a bit-identity check against serial results. Both
 // axes — planning and scanning — ride the same per-chunk independence.
+//
+// Section 3 adds the inter-query-concurrency axis: N independent read
+// queries admitted at once to a ConcurrentQueryRunner sharing one pool
+// (possible since ChunkStats became relaxed atomics), again with per-query
+// results checked bit-identical to serial.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "exec/concurrent_query_runner.h"
 #include "exec/parallel_executor.h"
 #include "model/frequency_model.h"
 #include "optimizer/layout_planner.h"
@@ -116,6 +122,70 @@ void ScanThreadsAxis() {
               " bit-identical to serial at every thread count)\n");
 }
 
+/// Section 3: N concurrent queries vs thread count on one fixed layout.
+/// Every per-query answer is checked bit-identical to its serial value.
+void ConcurrentQueriesAxis() {
+  std::printf("\n--- inter-query axis: N concurrent queries, one pool ---\n");
+  const size_t rows = ScaledRows(2'000'000);
+  Rng rng(777);
+  auto data = hap::MakeDataset(rows, 3, rng);
+
+  LayoutBuildOptions opts;
+  opts.mode = LayoutMode::kEquiWidthGhost;
+  opts.chunk_values = size_t{1} << 16;
+  auto engine = BuildLayout(opts, data.keys, data.payload);
+
+  // Query set: a skewed hybrid read mix — point lookups plus medium and wide
+  // range counts/sums, like independent dashboard sessions hitting the
+  // same table.
+  const Value lo = data.domain_lo;
+  const uint64_t span = static_cast<uint64_t>(data.domain_hi - lo) + 1;
+  Rng qrng(4243);
+  std::vector<Operation> queries;
+  for (int i = 0; i < 64; ++i) {
+    Operation op;
+    const Value a = lo + static_cast<Value>(qrng.Below(span));
+    const uint64_t pick = qrng.Below(100);
+    if (pick < 40) {
+      op.kind = OpKind::kPointQuery;
+      op.a = a;
+    } else if (pick < 75) {
+      op.kind = OpKind::kRangeCount;
+      op.a = a;
+      op.b = a + static_cast<Value>(qrng.Below(span / 4 + 1)) + 1;
+    } else {
+      op.kind = OpKind::kRangeSum;
+      op.a = a;
+      op.b = a + static_cast<Value>(qrng.Below(span / 4 + 1)) + 1;
+    }
+    queries.push_back(op);
+  }
+
+  const auto serial_results = ConcurrentQueryRunner(nullptr).Run(*engine, queries);
+  const size_t rounds = 5;
+  std::printf("%zu rows, %zu shards, %zu concurrent queries/round, %zu rounds\n",
+              rows, engine->NumShards(), queries.size(), rounds);
+  std::printf("%8s %14s %14s %10s %10s\n", "threads", "time (ms)", "queries/s",
+              "speedup", "identical");
+
+  double base_ms = 0.0;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    const ConcurrentQueryRunner runner(&pool);
+    std::vector<uint64_t> results;
+    Stopwatch sw;
+    for (size_t r = 0; r < rounds; ++r) results = runner.Run(*engine, queries);
+    const double ms = sw.ElapsedMillis();
+    if (threads == 1) base_ms = ms;
+    const double qps = static_cast<double>(queries.size()) *
+                       static_cast<double>(rounds) / (ms / 1000.0);
+    std::printf("%8zu %14.2f %14.1f %9.2fx %10s\n", threads, ms, qps,
+                base_ms / ms, results == serial_results ? "yes" : "NO!");
+  }
+  std::printf("(expect: query throughput tracking physical cores; per-query\n"
+              " answers must stay bit-identical to serial at every width)\n");
+}
+
 int Main() {
   PrintHeader("Figure 11", "partitioning decision latency vs data size");
   const size_t block_values = 2048;
@@ -158,6 +228,7 @@ int Main() {
   }
 
   ScanThreadsAxis();
+  ConcurrentQueriesAxis();
   return 0;
 }
 

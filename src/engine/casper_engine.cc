@@ -1,5 +1,6 @@
 #include "engine/casper_engine.h"
 
+#include "exec/concurrent_query_runner.h"
 #include "exec/parallel_executor.h"
 #include "util/status.h"
 
@@ -38,6 +39,11 @@ int64_t CasperEngine::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_h
                              Payload qty_max) const {
   return ParallelExecutor(pool_).TpchQ6(*engine_, lo, hi, disc_lo, disc_hi,
                                         qty_max);
+}
+
+std::vector<uint64_t> CasperEngine::RunConcurrent(
+    const std::vector<Operation>& queries) const {
+  return ConcurrentQueryRunner(pool_).Run(*engine_, queries);
 }
 
 }  // namespace casper

@@ -46,6 +46,13 @@ class CasperEngine {
     return engine_->PointLookup(key, payload);
   }
 
+  /// Batched point search: counts[i] == Find(keys[i]). The run is grouped by
+  /// destination chunk (routing amortized, chunk groups fanned over the
+  /// pool) — the read-side mirror of ApplyBatch.
+  std::vector<uint64_t> FindBatch(const std::vector<Value>& keys) const {
+    return engine_->LookupBatch(keys, pool_);
+  }
+
   // (iii) Range search (fans out over shards when a pool is attached).
   uint64_t CountBetween(Value lo, Value hi) const;
   int64_t SumPayloadBetween(Value lo, Value hi, const std::vector<size_t>& cols) const;
@@ -64,11 +71,17 @@ class CasperEngine {
   size_t Delete(Value key) { return engine_->Delete(key); }
 
   /// Batched operations: write runs are grouped by destination chunk/shard
-  /// (and fanned over the pool when attached); results are identical to
-  /// applying the ops one-by-one.
+  /// and point-query runs by destination chunk (both fanned over the pool
+  /// when attached); results are identical to applying the ops one-by-one.
   BatchResult ApplyBatch(const std::vector<Operation>& ops) {
     return engine_->ApplyBatch(ops.data(), ops.size(), pool_);
   }
+
+  /// Inter-query parallelism: admits the read-only queries (point / range
+  /// count / range sum) to a ConcurrentQueryRunner sharing this engine's
+  /// pool. results[i] is bit-identical to issuing queries[i] alone,
+  /// serially. The engine must be quiescent (no concurrent writes).
+  std::vector<uint64_t> RunConcurrent(const std::vector<Operation>& queries) const;
 
   LayoutMode mode() const { return engine_->mode(); }
   size_t num_rows() const { return engine_->num_rows(); }

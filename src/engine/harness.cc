@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "exec/concurrent_query_runner.h"
 #include "exec/parallel_executor.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -91,6 +92,23 @@ HarnessResult RunWorkloadBatched(LayoutEngine& engine,
     // deleted, and successful updates each contribute their counts.
     result.checksum += br.query_checksum + br.deletes + br.updates;
   }
+  result.seconds = total.ElapsedSeconds();
+  return result;
+}
+
+HarnessResult RunWorkloadConcurrent(const LayoutEngine& engine,
+                                    const std::vector<Operation>& ops,
+                                    const HarnessOptions& options) {
+  HarnessResult result;
+  result.ops = ops.size();
+  // Same Q3 column clipping as the serial replay, so checksums line up.
+  std::vector<size_t> q3_cols;
+  for (const size_t c : options.q3_columns) {
+    if (c < engine.num_payload_columns()) q3_cols.push_back(c);
+  }
+  const ConcurrentQueryRunner runner(options.pool);
+  Stopwatch total;
+  result.checksum = runner.RunChecksum(engine, ops, q3_cols);
   result.seconds = total.ElapsedSeconds();
   return result;
 }

@@ -69,6 +69,17 @@ HarnessResult RunWorkloadBatched(LayoutEngine& engine,
                                  const HarnessOptions& options,
                                  size_t batch_size);
 
+/// Replays a *read-only* stream (point queries, range counts, range sums)
+/// with inter-query parallelism: every query is admitted at once to a
+/// ConcurrentQueryRunner sharing options.pool, so independent queries
+/// overlap instead of running one fan-out at a time. The checksum is
+/// bit-identical to RunWorkload over the same stream (per-query results are
+/// deterministic). Per-op latency is not recorded (queries overlap). A
+/// write op in `ops` is a programming error.
+HarnessResult RunWorkloadConcurrent(const LayoutEngine& engine,
+                                    const std::vector<Operation>& ops,
+                                    const HarnessOptions& options);
+
 /// Pretty one-line summary: throughput + mean latency per present op class.
 std::string FormatResult(const HarnessResult& r);
 

@@ -1,0 +1,135 @@
+#include "exec/concurrent_query_runner.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace casper {
+
+namespace {
+
+bool IsReadQuery(OpKind kind) {
+  return kind == OpKind::kPointQuery || kind == OpKind::kRangeCount ||
+         kind == OpKind::kRangeSum;
+}
+
+/// Serial reference replay: the exact values the harness computes.
+uint64_t SerialAnswer(const LayoutEngine& engine, const Operation& op,
+                      const std::vector<size_t>& sum_cols) {
+  switch (op.kind) {
+    case OpKind::kPointQuery:
+      return engine.PointLookup(op.a, nullptr);
+    case OpKind::kRangeCount:
+      return engine.CountRange(op.a, op.b);
+    case OpKind::kRangeSum:
+      return static_cast<uint64_t>(engine.SumPayloadRange(op.a, op.b, sum_cols));
+    default:
+      break;
+  }
+  CASPER_CHECK_MSG(false, "ConcurrentQueryRunner admits read-only queries");
+  return 0;
+}
+
+}  // namespace
+
+std::vector<uint64_t> ConcurrentQueryRunner::Run(
+    const LayoutEngine& engine, const std::vector<Operation>& queries,
+    const std::vector<size_t>& sum_cols) const {
+  const size_t q_count = queries.size();
+  std::vector<uint64_t> results(q_count, 0);
+  if (q_count == 0) return results;
+  for (const Operation& op : queries) {
+    CASPER_CHECK_MSG(IsReadQuery(op.kind),
+                     "ConcurrentQueryRunner admits read-only queries");
+  }
+  if (pool_ == nullptr || pool_->num_threads() <= 1) {
+    for (size_t q = 0; q < q_count; ++q) {
+      results[q] = SerialAnswer(engine, queries[q], sum_cols);
+    }
+    return results;
+  }
+
+  // Per-query morsel queues: query q owns shards[q] morsels, a cursor, and a
+  // partials slot per morsel. Shard counts are sampled once up front — legal
+  // because the engine is quiescent (read-only) for the whole Run().
+  std::vector<size_t> shards(q_count);
+  std::vector<std::vector<int64_t>> partials(q_count);
+  std::unique_ptr<std::atomic<size_t>[]> cursors(
+      new std::atomic<size_t>[q_count]);
+  size_t total_morsels = 0;
+  for (size_t q = 0; q < q_count; ++q) {
+    // Point lookups are a single probe; range queries fan over every shard.
+    shards[q] = queries[q].kind == OpKind::kPointQuery ? 1 : engine.NumShards();
+    partials[q].assign(shards[q], 0);
+    cursors[q].store(0, std::memory_order_relaxed);
+    total_morsels += shards[q];
+  }
+
+  auto run_morsel = [&](size_t q, size_t s) {
+    const Operation& op = queries[q];
+    switch (op.kind) {
+      case OpKind::kPointQuery:
+        partials[q][0] = static_cast<int64_t>(engine.PointLookup(op.a, nullptr));
+        break;
+      case OpKind::kRangeCount:
+        partials[q][s] =
+            static_cast<int64_t>(engine.CountRangeShard(s, op.a, op.b));
+        break;
+      case OpKind::kRangeSum:
+        partials[q][s] = engine.SumPayloadRangeShard(s, op.a, op.b, sum_cols);
+        break;
+      default:
+        break;
+    }
+  };
+
+  const size_t workers =
+      pool_->num_threads() < total_morsels ? pool_->num_threads() : total_morsels;
+  for (size_t w = 0; w < workers; ++w) {
+    pool_->Submit([&, w] {
+      // Each worker starts on a different query, then sweeps the rest: all
+      // queries make progress at once, and late workers drain stragglers.
+      for (size_t step = 0; step < q_count; ++step) {
+        const size_t q = (w + step) % q_count;
+        for (;;) {
+          const size_t s = cursors[q].fetch_add(1, std::memory_order_relaxed);
+          if (s >= shards[q]) break;
+          run_morsel(q, s);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+
+  // Deterministic merge: partials folded in shard-index order per query —
+  // the same additions, in the same order, as the serial fan-out.
+  for (size_t q = 0; q < q_count; ++q) {
+    if (queries[q].kind == OpKind::kRangeSum) {
+      int64_t sum = 0;
+      for (const int64_t p : partials[q]) sum += p;
+      results[q] = static_cast<uint64_t>(sum);
+    } else {
+      uint64_t count = 0;
+      for (const int64_t p : partials[q]) count += static_cast<uint64_t>(p);
+      results[q] = count;
+    }
+  }
+  return results;
+}
+
+std::vector<uint64_t> ConcurrentQueryRunner::Run(
+    const LayoutEngine& engine, const std::vector<Operation>& queries) const {
+  return Run(engine, queries, DefaultSumColumns(engine));
+}
+
+uint64_t ConcurrentQueryRunner::RunChecksum(
+    const LayoutEngine& engine, const std::vector<Operation>& queries,
+    const std::vector<size_t>& sum_cols) const {
+  uint64_t checksum = 0;
+  for (const uint64_t r : Run(engine, queries, sum_cols)) checksum += r;
+  return checksum;
+}
+
+}  // namespace casper

@@ -1,0 +1,67 @@
+#ifndef CASPER_EXEC_CONCURRENT_QUERY_RUNNER_H_
+#define CASPER_EXEC_CONCURRENT_QUERY_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "layouts/layout_engine.h"
+#include "storage/types.h"
+#include "workload/ops.h"
+
+namespace casper {
+
+class ThreadPool;
+
+/// Inter-query parallelism over one layout engine: admits N independent
+/// read-only queries that share a single ThreadPool, instead of running one
+/// query at a time and leaving the pool idle between fan-outs. Safe because
+/// the whole read surface is now concurrent-clean — per-chunk access
+/// counters are relaxed atomics, and per-shard reads touch disjoint logical
+/// state.
+///
+/// Scheduling: each query gets its own morsel queue (an atomic cursor over
+/// its shards) and its own partial-result slots. Workers rotate across the
+/// queries, starting at different offsets, claiming one morsel at a time —
+/// a wide scan cannot starve a point lookup, and a skewed shard stalls only
+/// the workers currently inside it. Every partial lands in slot (query,
+/// shard) regardless of which thread ran it, and per-query partials are
+/// merged in shard-index order after the barrier, so each answer is
+/// bit-identical to running that query alone, serially.
+///
+/// The runner is a thin, copyable view (owns no threads). A null pool or a
+/// single worker degrades to a serial replay with identical results. Writes
+/// are not admitted: the engine must be quiescent (single-writer, no
+/// concurrent ApplyBatch) for the duration of Run().
+class ConcurrentQueryRunner {
+ public:
+  explicit ConcurrentQueryRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Executes the read-only queries (kPointQuery / kRangeCount / kRangeSum)
+  /// concurrently. results[i] is exactly what the serial harness computes
+  /// for queries[i]: the match count for point queries, the row count for
+  /// range counts, and static_cast<uint64_t>(sum) for range sums over
+  /// `sum_cols`. Any write kind in `queries` is a programming error.
+  std::vector<uint64_t> Run(const LayoutEngine& engine,
+                            const std::vector<Operation>& queries,
+                            const std::vector<size_t>& sum_cols) const;
+
+  /// Same, summing over DefaultSumColumns(engine) for range sums.
+  std::vector<uint64_t> Run(const LayoutEngine& engine,
+                            const std::vector<Operation>& queries) const;
+
+  /// Sum of Run() results — the same mixing as HarnessResult::checksum for a
+  /// read-only stream.
+  uint64_t RunChecksum(const LayoutEngine& engine,
+                       const std::vector<Operation>& queries,
+                       const std::vector<size_t>& sum_cols) const;
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_EXEC_CONCURRENT_QUERY_RUNNER_H_

@@ -24,10 +24,10 @@ class ThreadPool;
 /// single-writer: ApplyBatch delegates to the engine's batched write surface,
 /// which may itself fan grouped writes out over the pool (disjoint shards).
 ///
-/// Concurrency contract: one query at a time per engine. Per-shard reads of
-/// partitioned layouts update per-chunk access counters; two *concurrent*
-/// queries over the same engine would race on them (replay is serial
-/// everywhere in this codebase).
+/// Concurrency contract: reads are concurrent-clean — per-chunk access
+/// counters are relaxed atomics, so any number of queries may run against
+/// the same engine at once (see ConcurrentQueryRunner for the N-query
+/// admission layer). Writes still require exclusive access to the engine.
 class ParallelExecutor {
  public:
   explicit ParallelExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
@@ -45,6 +45,12 @@ class ParallelExecutor {
   /// TPC-H Q6 fan-out.
   int64_t TpchQ6(const LayoutEngine& engine, Value lo, Value hi, Payload disc_lo,
                  Payload disc_hi, Payload qty_max) const;
+
+  /// Batched point lookups through the engine's chunk-grouped read path.
+  void LookupBatch(const LayoutEngine& engine, const Value* keys, size_t n,
+                   uint64_t* out_counts) const {
+    engine.LookupBatch(keys, n, out_counts, pool_);
+  }
 
   /// Batched writes through the engine's grouped write path.
   BatchResult ApplyBatch(LayoutEngine& engine, const Operation* ops,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "util/status.h"
 
@@ -121,6 +122,72 @@ int64_t DeltaStoreLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload di
   return sum;
 }
 
+std::pair<size_t, size_t> DeltaStoreLayout::MainShardWindow(size_t shard, Value lo,
+                                                            Value hi) const {
+  return SortedShardWindow(main_keys_, kMainShardRows, shard, lo, hi);
+}
+
+uint64_t DeltaStoreLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+  if (shard < NumMainShards()) {
+    const auto [first, last] = MainShardWindow(shard, lo, hi);
+    uint64_t count = 0;
+    for (size_t i = first; i < last; ++i) count += !deleted_[i];
+    return count;
+  }
+  uint64_t count = 0;
+  for (const Value k : delta_keys_) count += (k >= lo && k < hi);
+  return count;
+}
+
+int64_t DeltaStoreLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                                               const std::vector<size_t>& cols) const {
+  int64_t sum = 0;
+  if (shard < NumMainShards()) {
+    const auto [first, last] = MainShardWindow(shard, lo, hi);
+    for (size_t i = first; i < last; ++i) {
+      if (!deleted_[i]) {
+        for (const size_t c : cols) sum += main_payload_[c][i];
+      }
+    }
+    return sum;
+  }
+  for (size_t i = 0; i < delta_keys_.size(); ++i) {
+    if (delta_keys_[i] >= lo && delta_keys_[i] < hi) {
+      for (const size_t c : cols) sum += delta_payload_[c][i];
+    }
+  }
+  return sum;
+}
+
+int64_t DeltaStoreLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
+                                      Payload disc_lo, Payload disc_hi,
+                                      Payload qty_max) const {
+  if (main_payload_.size() < 3) return 0;
+  int64_t sum = 0;
+  if (shard < NumMainShards()) {
+    const auto [first, last] = MainShardWindow(shard, lo, hi);
+    const auto& mq = main_payload_[0];
+    const auto& md = main_payload_[1];
+    const auto& mp = main_payload_[2];
+    for (size_t i = first; i < last; ++i) {
+      if (!deleted_[i] && md[i] >= disc_lo && md[i] <= disc_hi && mq[i] < qty_max) {
+        sum += static_cast<int64_t>(mp[i]) * md[i];
+      }
+    }
+    return sum;
+  }
+  const auto& dq = delta_payload_[0];
+  const auto& dd = delta_payload_[1];
+  const auto& dp = delta_payload_[2];
+  for (size_t i = 0; i < delta_keys_.size(); ++i) {
+    if (delta_keys_[i] >= lo && delta_keys_[i] < hi && dd[i] >= disc_lo &&
+        dd[i] <= disc_hi && dq[i] < qty_max) {
+      sum += static_cast<int64_t>(dp[i]) * dd[i];
+    }
+  }
+  return sum;
+}
+
 void DeltaStoreLayout::Insert(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == main_payload_.size());
   delta_keys_.push_back(key);
@@ -162,20 +229,47 @@ bool DeltaStoreLayout::UpdateKey(Value old_key, Value new_key) {
   return true;
 }
 
-BatchResult DeltaStoreLayout::ApplyBatch(const Operation* ops, size_t n,
-                                         ThreadPool* /*pool*/) {
-  std::vector<Payload> row;
-  return ApplyBatchInsertRuns(*this, ops, n, [&](const std::vector<Value>& run) {
-    delta_keys_.reserve(delta_keys_.size() + run.size());
-    for (const Value key : run) {
-      delta_keys_.push_back(key);
-      KeyDerivedPayload(key, main_payload_.size(), &row);
-      for (size_t c = 0; c < main_payload_.size(); ++c) {
-        delta_payload_[c].push_back(row[c]);
-      }
+void DeltaStoreLayout::LookupBatch(const Value* keys, size_t n,
+                                   uint64_t* out_counts,
+                                   ThreadPool* /*pool*/) const {
+  if (n == 0) return;
+  // One delta pass for the whole run; the sorted main store stays per-key
+  // binary searches (already cheap).
+  std::unordered_map<Value, uint64_t> delta_counts;
+  delta_counts.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) delta_counts.emplace(keys[i], 0);
+  for (const Value k : delta_keys_) {
+    const auto it = delta_counts.find(k);
+    if (it != delta_counts.end()) ++it->second;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] =
+        std::equal_range(main_keys_.begin(), main_keys_.end(), keys[i]);
+    uint64_t count = 0;
+    for (auto it = lo; it != hi; ++it) {
+      count += !deleted_[static_cast<size_t>(it - main_keys_.begin())];
     }
-    MaybeMerge();
-  });
+    out_counts[i] = count + delta_counts.find(keys[i])->second;
+  }
+}
+
+BatchResult DeltaStoreLayout::ApplyBatch(const Operation* ops, size_t n,
+                                         ThreadPool* pool) {
+  std::vector<Payload> row;
+  return ApplyBatchInsertRuns(
+      *this, ops, n,
+      [&](const std::vector<Value>& run) {
+        delta_keys_.reserve(delta_keys_.size() + run.size());
+        for (const Value key : run) {
+          delta_keys_.push_back(key);
+          KeyDerivedPayload(key, main_payload_.size(), &row);
+          for (size_t c = 0; c < main_payload_.size(); ++c) {
+            delta_payload_[c].push_back(row[c]);
+          }
+        }
+        MaybeMerge();
+      },
+      pool);
 }
 
 size_t DeltaStoreLayout::num_rows() const { return main_live_ + delta_keys_.size(); }

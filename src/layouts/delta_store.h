@@ -50,6 +50,28 @@ class DeltaStoreLayout final : public LayoutEngine {
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;
 
+  /// Batched point lookups: per-key binary searches on the sorted main store
+  /// plus ONE pass over the unsorted delta for the whole run (hash-grouped),
+  /// instead of one delta scan per key.
+  void LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                   ThreadPool* pool = nullptr) const override;
+  using LayoutEngine::LookupBatch;
+
+  // Sharded read surface: the main/delta pair is naturally parallel — the
+  // sorted main store splits into fixed-width row windows (binary-searched
+  // per shard like SortedLayout, with the delete bitmap applied), and the
+  // unsorted delta buffer is one extra sub-shard scanned in full. Shards
+  // [0, M) are main windows, shard M is the delta.
+  static constexpr size_t kMainShardRows = size_t{1} << 14;
+  size_t NumShards() const override {
+    return NumMainShards() + 1;  // + the delta sub-shard (may be empty)
+  }
+  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
+  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                               const std::vector<size_t>& cols) const override;
+  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
+                      Payload disc_hi, Payload qty_max) const override;
+
   size_t num_rows() const override;
   size_t num_payload_columns() const override { return main_payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;
@@ -64,6 +86,15 @@ class DeltaStoreLayout final : public LayoutEngine {
 
  private:
   void MaybeMerge();
+
+  size_t NumMainShards() const {
+    return main_keys_.empty()
+               ? 0
+               : (main_keys_.size() + kMainShardRows - 1) / kMainShardRows;
+  }
+  /// Qualifying main-store positions [first, last) of [lo, hi) inside main
+  /// shard `shard`'s row window (delete bitmap not yet applied).
+  std::pair<size_t, size_t> MainShardWindow(size_t shard, Value lo, Value hi) const;
 
   Options opts_;
   // Main store: sorted, with a positional delete bitmap.

@@ -45,6 +45,15 @@ void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* resu
   }
 }
 
+void LayoutEngine::LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                               ThreadPool* /*pool*/) const {
+  // Serial fallback: one probe per key. Layouts with routable or scannable
+  // structure override with grouped variants.
+  for (size_t i = 0; i < n; ++i) {
+    out_counts[i] = PointLookup(keys[i], nullptr);
+  }
+}
+
 BatchResult LayoutEngine::ApplyBatch(const Operation* ops, size_t n,
                                      ThreadPool* /*pool*/) {
   // Serial fallback: apply in order. Layouts with a routable write path

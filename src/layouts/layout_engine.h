@@ -1,8 +1,10 @@
 #ifndef CASPER_LAYOUTS_LAYOUT_ENGINE_H_
 #define CASPER_LAYOUTS_LAYOUT_ENGINE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "storage/types.h"
@@ -58,9 +60,11 @@ void KeyDerivedPayload(Value key, size_t num_columns, std::vector<Payload>* out)
 ///
 /// Beyond the per-operation surface, every layout exposes a *sharded* read
 /// surface (NumShards + the *Shard methods) consumed by the morsel-driven
-/// executor in exec/, and a batched write surface (ApplyBatch). Layouts that
-/// cannot shard (a single sorted run) inherit the serial fallbacks: one
-/// shard, batch applied op-by-op.
+/// executor in exec/, a batched write surface (ApplyBatch), and a batched
+/// point-lookup surface (LookupBatch). All six layouts shard: partitioned
+/// layouts by column chunk, NoOrder by fixed row morsels, Sorted by
+/// binary-searched row windows, and the delta store into main sub-shards
+/// plus the delta buffer.
 class LayoutEngine {
  public:
   virtual ~LayoutEngine() = default;
@@ -105,9 +109,12 @@ class LayoutEngine {
   // --- Sharded read surface (morsel-driven execution, exec/) ---------------
 
   /// Number of independently scannable shards. Partitioned layouts shard by
-  /// column chunk, NoOrder by fixed row morsels; Sorted and the delta store
-  /// are a single shard (serial fallback). Shard counts may change across
-  /// writes; they are only stable between writes.
+  /// column chunk, NoOrder by fixed row morsels, Sorted by row windows, the
+  /// delta store by main windows + the delta buffer. Shard counts may change
+  /// across writes; they are only stable between writes. Per-shard reads of
+  /// distinct shards touch disjoint logical state (access counters are
+  /// relaxed atomics), so shards — and whole read queries — may run
+  /// concurrently.
   virtual size_t NumShards() const { return 1; }
 
   /// Per-shard slice of CountRange. Summing over all shards (in any order)
@@ -131,6 +138,22 @@ class LayoutEngine {
   /// Per-shard slice of a full scan (live rows visited in this shard).
   uint64_t ScanShard(size_t shard) const {
     return CountRangeShard(shard, kMinValue + 1, kMaxValue);
+  }
+
+  // --- Batched read surface --------------------------------------------------
+
+  /// Batched point lookups — the read-side mirror of ApplyBatch:
+  /// out_counts[i] == PointLookup(keys[i], nullptr) for every i.
+  /// Implementations group the run by destination chunk / store component to
+  /// amortize routing and scans, and may fan disjoint groups out over
+  /// `pool`. The default probes serially one key at a time.
+  virtual void LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                           ThreadPool* pool = nullptr) const;
+  std::vector<uint64_t> LookupBatch(const std::vector<Value>& keys,
+                                    ThreadPool* pool = nullptr) const {
+    std::vector<uint64_t> counts(keys.size(), 0);
+    LookupBatch(keys.data(), keys.size(), counts.data(), pool);
+    return counts;
   }
 
   // --- Batched write surface -----------------------------------------------
@@ -158,32 +181,78 @@ void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* resu
 /// two, clipped to the table's width (the harness's q3 default).
 std::vector<size_t> DefaultSumColumns(const LayoutEngine& engine);
 
-/// Shared ApplyBatch skeleton for layouts whose only groupable run is
-/// consecutive inserts (NoOrder, Sorted, delta store): buffers kInsert keys,
-/// calls flush(keys) before any other op kind (the barrier) and at batch
-/// end, and applies barrier ops via ApplyOperation. flush must apply the
-/// keyed inserts with KeyDerivedPayload rows; the skeleton does the insert
-/// accounting.
+/// Qualifying positions [first, last) of [lo, hi) inside the `shard`-th
+/// `shard_rows`-wide window of a sorted key run, found by binary search
+/// bounded to the window. Positional windows sum exactly to the whole-run
+/// answer even when a duplicate run straddles a split point. Shared by the
+/// Sorted and delta-store sharded read surfaces.
+inline std::pair<size_t, size_t> SortedShardWindow(const std::vector<Value>& keys,
+                                                   size_t shard_rows, size_t shard,
+                                                   Value lo, Value hi) {
+  const size_t begin = shard * shard_rows;
+  if (lo >= hi || begin >= keys.size()) return {0, 0};
+  const size_t end = std::min(keys.size(), begin + shard_rows);
+  const auto b = keys.begin();
+  const size_t first = static_cast<size_t>(
+      std::lower_bound(b + static_cast<ptrdiff_t>(begin),
+                       b + static_cast<ptrdiff_t>(end), lo) -
+      b);
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(b + static_cast<ptrdiff_t>(first),
+                       b + static_cast<ptrdiff_t>(end), hi) -
+      b);
+  return {first, last};
+}
+
+/// Shared ApplyBatch skeleton for layouts whose groupable runs are
+/// consecutive inserts and consecutive point queries (NoOrder, Sorted, delta
+/// store): buffers kInsert keys and flushes them via flush_run(keys) at any
+/// barrier; buffers kPointQuery keys and answers a maximal run through the
+/// engine's LookupBatch (chunk/store-grouped, optionally pool-parallel).
+/// Inserts barrier lookups and vice versa — reads must observe every write
+/// before them — so results stay identical to one-by-one application.
+/// flush_run must apply the keyed inserts with KeyDerivedPayload rows; the
+/// skeleton does the insert and checksum accounting.
 template <typename FlushFn>
 BatchResult ApplyBatchInsertRuns(LayoutEngine& engine, const Operation* ops,
-                                 size_t n, FlushFn&& flush_run) {
+                                 size_t n, FlushFn&& flush_run,
+                                 ThreadPool* pool = nullptr) {
   BatchResult result;
   std::vector<Value> pending;
-  auto flush = [&] {
+  std::vector<Value> pending_lookups;
+  std::vector<uint64_t> counts;
+  auto flush_inserts = [&] {
     if (pending.empty()) return;
     flush_run(pending);
     result.inserts += pending.size();
     pending.clear();
   };
+  auto flush_lookups = [&] {
+    if (pending_lookups.empty()) return;
+    counts.assign(pending_lookups.size(), 0);
+    engine.LookupBatch(pending_lookups.data(), pending_lookups.size(),
+                       counts.data(), pool);
+    for (const uint64_t c : counts) result.query_checksum += c;
+    pending_lookups.clear();
+  };
   for (size_t i = 0; i < n; ++i) {
-    if (ops[i].kind == OpKind::kInsert) {
-      pending.push_back(ops[i].a);
-    } else {
-      flush();
-      ApplyOperation(engine, ops[i], &result);
+    switch (ops[i].kind) {
+      case OpKind::kInsert:
+        flush_lookups();
+        pending.push_back(ops[i].a);
+        break;
+      case OpKind::kPointQuery:
+        flush_inserts();
+        pending_lookups.push_back(ops[i].a);
+        break;
+      default:
+        flush_inserts();
+        flush_lookups();
+        ApplyOperation(engine, ops[i], &result);
     }
   }
-  flush();
+  flush_inserts();
+  flush_lookups();
   return result;
 }
 

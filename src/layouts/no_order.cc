@@ -1,5 +1,7 @@
 #include "layouts/no_order.h"
 
+#include <unordered_map>
+
 #include "util/status.h"
 
 namespace casper {
@@ -101,17 +103,35 @@ int64_t NoOrderLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
   return sum;
 }
 
+void NoOrderLayout::LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                                ThreadPool* /*pool*/) const {
+  if (n == 0) return;
+  // Group the queried keys, then answer every one of them with a single
+  // pass over the column — O(rows + n) for the run instead of n full scans.
+  std::unordered_map<Value, uint64_t> counts;
+  counts.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) counts.emplace(keys[i], 0);
+  for (const Value k : keys_) {
+    const auto it = counts.find(k);
+    if (it != counts.end()) ++it->second;
+  }
+  for (size_t i = 0; i < n; ++i) out_counts[i] = counts.find(keys[i])->second;
+}
+
 BatchResult NoOrderLayout::ApplyBatch(const Operation* ops, size_t n,
-                                      ThreadPool* /*pool*/) {
+                                      ThreadPool* pool) {
   std::vector<Payload> row;
-  return ApplyBatchInsertRuns(*this, ops, n, [&](const std::vector<Value>& run) {
-    keys_.reserve(keys_.size() + run.size());
-    for (const Value key : run) {
-      keys_.push_back(key);
-      KeyDerivedPayload(key, payload_.size(), &row);
-      for (size_t c = 0; c < payload_.size(); ++c) payload_[c].push_back(row[c]);
-    }
-  });
+  return ApplyBatchInsertRuns(
+      *this, ops, n,
+      [&](const std::vector<Value>& run) {
+        keys_.reserve(keys_.size() + run.size());
+        for (const Value key : run) {
+          keys_.push_back(key);
+          KeyDerivedPayload(key, payload_.size(), &row);
+          for (size_t c = 0; c < payload_.size(); ++c) payload_[c].push_back(row[c]);
+        }
+      },
+      pool);
 }
 
 void NoOrderLayout::Insert(Value key, const std::vector<Payload>& payload) {

@@ -40,8 +40,15 @@ class NoOrderLayout final : public LayoutEngine {
   int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
                       Payload disc_hi, Payload qty_max) const override;
 
+  /// Batched point lookups: one pass over the column answers the whole run
+  /// (hash-grouped keys), O(rows + n) instead of n full scans.
+  void LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                   ThreadPool* pool = nullptr) const override;
+  using LayoutEngine::LookupBatch;
+
   /// Batched writes: insert runs bulk-append (one reserve, no per-op
-  /// routing); deletes swap-remove and are order-sensitive, so they barrier.
+  /// routing); point-query runs answer through LookupBatch; deletes
+  /// swap-remove and are order-sensitive, so they barrier.
   BatchResult ApplyBatch(const Operation* ops, size_t n,
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;

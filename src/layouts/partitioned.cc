@@ -8,15 +8,25 @@ BatchResult PartitionedLayout::ApplyBatch(const Operation* ops, size_t n,
                                           ThreadPool* pool) {
   BatchResult result;
   std::vector<PartitionedTable::BatchWrite> run;
-  auto flush = [&] {
+  std::vector<Value> lookups;
+  std::vector<uint64_t> counts;
+  auto flush_writes = [&] {
     if (run.empty()) return;
     result.deletes += table_.ApplyWriteRun(run, pool);
     run.clear();
+  };
+  auto flush_lookups = [&] {
+    if (lookups.empty()) return;
+    counts.assign(lookups.size(), 0);
+    table_.LookupBatch(lookups.data(), lookups.size(), counts.data(), pool);
+    for (const uint64_t c : counts) result.query_checksum += c;
+    lookups.clear();
   };
   for (size_t i = 0; i < n; ++i) {
     const Operation& op = ops[i];
     switch (op.kind) {
       case OpKind::kInsert: {
+        flush_lookups();
         PartitionedTable::BatchWrite w;
         w.key = op.a;
         w.is_insert = true;
@@ -26,18 +36,27 @@ BatchResult PartitionedLayout::ApplyBatch(const Operation* ops, size_t n,
         break;
       }
       case OpKind::kDelete: {
+        flush_lookups();
         PartitionedTable::BatchWrite w;
         w.key = op.a;
         run.push_back(std::move(w));
         break;
       }
+      case OpKind::kPointQuery:
+        // Point queries must observe every write before them; a maximal run
+        // of them is then answered in one chunk-grouped batch.
+        flush_writes();
+        lookups.push_back(op.a);
+        break;
       default:
-        // Queries and updates barrier the pending write run.
-        flush();
+        // Range queries and updates barrier both pending runs.
+        flush_writes();
+        flush_lookups();
         ApplyOperation(*this, op, &result);
     }
   }
-  flush();
+  flush_writes();
+  flush_lookups();
   return result;
 }
 

@@ -58,9 +58,18 @@ class PartitionedLayout final : public LayoutEngine {
     return table_.TpchQ6InChunk(shard, lo, hi, disc_lo, disc_hi, qty_max);
   }
 
+  /// Batched point lookups: routed once and probed chunk-by-chunk (pool
+  /// fans chunk groups out), mirroring the batched write path.
+  void LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                   ThreadPool* pool = nullptr) const override {
+    table_.LookupBatch(keys, n, out_counts, pool);
+  }
+  using LayoutEngine::LookupBatch;
+
   /// Batched writes: maximal insert/delete runs are grouped by destination
-  /// chunk and applied chunk-parallel; queries and (possibly cross-chunk)
-  /// updates are barriers.
+  /// chunk and applied chunk-parallel; maximal point-query runs are answered
+  /// through LookupBatch; range queries and (possibly cross-chunk) updates
+  /// are barriers.
   BatchResult ApplyBatch(const Operation* ops, size_t n,
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;

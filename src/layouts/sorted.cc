@@ -69,6 +69,44 @@ int64_t SortedLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_h
   return sum;
 }
 
+std::pair<size_t, size_t> SortedLayout::ShardWindow(size_t shard, Value lo,
+                                                    Value hi) const {
+  return SortedShardWindow(keys_, kShardRows, shard, lo, hi);
+}
+
+uint64_t SortedLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+  const auto [first, last] = ShardWindow(shard, lo, hi);
+  return static_cast<uint64_t>(last - first);
+}
+
+int64_t SortedLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                                           const std::vector<size_t>& cols) const {
+  const auto [first, last] = ShardWindow(shard, lo, hi);
+  int64_t sum = 0;
+  for (const size_t c : cols) {
+    const auto& col = payload_[c];
+    for (size_t i = first; i < last; ++i) sum += col[i];
+  }
+  return sum;
+}
+
+int64_t SortedLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
+                                  Payload disc_lo, Payload disc_hi,
+                                  Payload qty_max) const {
+  if (payload_.size() < 3) return 0;
+  const auto [first, last] = ShardWindow(shard, lo, hi);
+  const auto& qty = payload_[0];
+  const auto& disc = payload_[1];
+  const auto& price = payload_[2];
+  int64_t sum = 0;
+  for (size_t i = first; i < last; ++i) {
+    if (disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_max) {
+      sum += static_cast<int64_t>(price[i]) * disc[i];
+    }
+  }
+  return sum;
+}
+
 void SortedLayout::Insert(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == payload_.size());
   const size_t pos = static_cast<size_t>(
@@ -139,9 +177,10 @@ void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
 }
 
 BatchResult SortedLayout::ApplyBatch(const Operation* ops, size_t n,
-                                     ThreadPool* /*pool*/) {
+                                     ThreadPool* pool) {
   return ApplyBatchInsertRuns(
-      *this, ops, n, [&](const std::vector<Value>& run) { MergeInsertRun(run); });
+      *this, ops, n, [&](const std::vector<Value>& run) { MergeInsertRun(run); },
+      pool);
 }
 
 LayoutMemoryStats SortedLayout::MemoryStats() const {

@@ -30,11 +30,25 @@ class SortedLayout final : public LayoutEngine {
   /// Batched writes: an insert run is stably sorted and merged in one
   /// O(n + k log k) pass instead of k O(n) tail shifts. Placement matches
   /// sequential Insert exactly (upper_bound: new rows land after existing
-  /// equals, batch order preserved among themselves). Reads can't shard — a
-  /// single sorted run has no independent pieces — so NumShards stays 1.
+  /// equals, batch order preserved among themselves).
   BatchResult ApplyBatch(const Operation* ops, size_t n,
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;
+
+  // Sharded read surface: the sorted run is range-split into fixed-width row
+  // windows; each shard binary-searches the query bounds *within its own
+  // window*, so the per-shard work is O(log w + qualifying rows) and the
+  // positional windows sum exactly to the serial answer — duplicate runs
+  // straddling a split point are counted once per side, never twice.
+  static constexpr size_t kShardRows = size_t{1} << 14;
+  size_t NumShards() const override {
+    return keys_.empty() ? 1 : (keys_.size() + kShardRows - 1) / kShardRows;
+  }
+  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
+  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                               const std::vector<size_t>& cols) const override;
+  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
+                      Payload disc_hi, Payload qty_max) const override;
 
   size_t num_rows() const override { return keys_.size(); }
   size_t num_payload_columns() const override { return payload_.size(); }
@@ -43,6 +57,10 @@ class SortedLayout final : public LayoutEngine {
 
  private:
   void MergeInsertRun(const std::vector<Value>& batch_keys);
+
+  /// Qualifying row positions [first, last) of [lo, hi) inside this shard's
+  /// window, found by binary search bounded to the window.
+  std::pair<size_t, size_t> ShardWindow(size_t shard, Value lo, Value hi) const;
 
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;

@@ -123,20 +123,26 @@ uint64_t PartitionedColumnChunk::CountRange(Value lo, Value hi) const {
   const size_t first = index_.Route(lo);
   const size_t last = index_.Route(hi - 1);
   uint64_t count = 0;
+  // Accumulate accounting locally and flush once: one atomic add per query
+  // instead of one per partition on the hottest read path.
+  uint64_t scanned = 0;
+  uint64_t reads = 0;
   for (size_t t = first; t <= last && t < parts_.size(); ++t) {
     const Partition& p = parts_[t];
     if (p.size == 0) continue;
-    ++stats_.partitions_scanned;
+    ++scanned;
     if (t == first || t == last) {
       if (p.min_val >= hi || p.max_val < lo) continue;
       const Value* d = data_.data() + p.begin;
       for (size_t i = 0; i < p.size; ++i) count += (d[i] >= lo && d[i] < hi);
-      stats_.element_reads += p.size;
+      reads += p.size;
     } else {
       // Middle partitions fully qualify: blind consume (paper Fig. 3c).
       count += p.size;
     }
   }
+  stats_.partitions_scanned += scanned;
+  stats_.element_reads += reads;
   return count;
 }
 

@@ -121,6 +121,9 @@ class PartitionedColumnChunk {
 
   ChunkStats& stats() { return stats_; }
   const ChunkStats& stats() const { return stats_; }
+  /// One coherent copy of the counters (take between queries for exact
+  /// totals; always safe to call, even mid-query).
+  ChunkStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
 
   const Options& options() const { return opts_; }
 
@@ -156,6 +159,9 @@ class PartitionedColumnChunk {
   std::vector<Partition> parts_;
   PartitionIndex index_;
   // Reads also account their data movement; recorders are not logical state.
+  // Relaxed-atomic counters: const read paths bump them from concurrent
+  // queries, so plain fields here would be a data race (and once corrupted
+  // the frequency accounting the solver consumes).
   mutable ChunkStats stats_;
   size_t live_ = 0;
 };

@@ -219,6 +219,39 @@ int64_t PartitionedTable::TpchQ6InChunk(size_t c, Value lo, Value hi,
   return sum;
 }
 
+void PartitionedTable::LookupBatch(const Value* keys, size_t n,
+                                   uint64_t* out_counts, ThreadPool* pool) const {
+  // Tiny runs (a single point query between batch barriers) skip the
+  // O(num_chunks) bucketing and probe directly.
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      out_counts[i] = chunks_[RouteChunk(keys[i])].keys.CountEqual(keys[i]);
+    }
+    return;
+  }
+  // Route once: bucket query indices by destination chunk, mirroring
+  // ApplyWriteRun on the read side. Per-chunk runs keep the chunk's data hot
+  // and hand the pool disjoint work (distinct chunks, distinct out slots).
+  std::vector<std::vector<uint32_t>> by_chunk(chunks_.size());
+  for (size_t i = 0; i < n; ++i) {
+    by_chunk[RouteChunk(keys[i])].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<size_t> touched;
+  for (size_t c = 0; c < by_chunk.size(); ++c) {
+    if (!by_chunk[c].empty()) touched.push_back(c);
+  }
+  auto probe_chunk = [&](size_t c) {
+    for (const uint32_t idx : by_chunk[c]) {
+      out_counts[idx] = chunks_[c].keys.CountEqual(keys[idx]);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && touched.size() > 1) {
+    pool->ParallelFor(touched.size(), [&](size_t i) { probe_chunk(touched[i]); });
+  } else {
+    for (const size_t c : touched) probe_chunk(c);
+  }
+}
+
 int64_t PartitionedTable::SumKeysRange(Value lo, Value hi) const {
   int64_t sum = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {

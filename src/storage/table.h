@@ -78,8 +78,9 @@ class PartitionedTable {
   // Each method is the chunk-c slice of the corresponding whole-table query:
   // summing over all chunks (in any order) reproduces the serial answer. A
   // chunk outside the key range contributes 0 after an O(1) bounds check.
-  // Distinct chunks touch disjoint state, so shards may run concurrently —
-  // but only one query at a time (per-chunk access counters are unguarded).
+  // Distinct chunks touch disjoint logical state, and the per-chunk access
+  // counters are relaxed atomics, so shards — and independent whole queries —
+  // may run concurrently. Writes remain single-writer per chunk.
 
   /// COUNT(*) WHERE key in [lo, hi), restricted to chunk c.
   uint64_t CountRangeInChunk(size_t c, Value lo, Value hi) const;
@@ -91,6 +92,13 @@ class PartitionedTable {
   /// TPC-H Q6 shape, restricted to chunk c.
   int64_t TpchQ6InChunk(size_t c, Value lo, Value hi, Payload disc_lo,
                         Payload disc_hi, Payload qty_max) const;
+
+  /// Batched point lookups (read-side mirror of ApplyWriteRun): routes the
+  /// run once, groups keys by destination chunk, and probes chunk-by-chunk —
+  /// out_counts[i] == PointLookup(keys[i]) for every i. With a pool, chunk
+  /// groups are probed concurrently (disjoint chunks, disjoint out slots).
+  void LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
+                   ThreadPool* pool = nullptr) const;
 
   /// O(1) key-range overlap test against the chunk routing bounds.
   bool ChunkOverlapsRange(size_t c, Value lo, Value hi) const {

@@ -1,6 +1,7 @@
 #ifndef CASPER_STORAGE_TYPES_H_
 #define CASPER_STORAGE_TYPES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -41,17 +42,88 @@ struct MoveLog {
   }
 };
 
-/// Data-movement accounting, used by tests to pin the ripple algorithms to
-/// the cost model and by benches for reporting.
-struct ChunkStats {
+/// Monotonic accounting counter bumped from concurrent const read paths.
+/// All accesses are relaxed atomics: counters are frequency accounting, not
+/// synchronization, so no ordering is needed — only that concurrent
+/// increments from parallel shard scans are not lost (and are not UB).
+/// Copy/assignment take a snapshot of the source, keeping the owning chunk
+/// movable; they are only safe while the source is quiescent.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t v) : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  RelaxedCounter& operator++() {
+    Add(1);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    Add(delta);
+    return *this;
+  }
+  void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+
+  operator uint64_t() const { return load(); }
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Plain-value copy of a ChunkStats, for the solver/capture/reporting paths
+/// that want one coherent set of numbers instead of six racing loads.
+struct ChunkStatsSnapshot {
   uint64_t element_reads = 0;
   uint64_t element_writes = 0;
-  uint64_t ripple_steps = 0;       ///< free-slot moves across boundaries
-  uint64_t partitions_scanned = 0; ///< partitions touched by queries
-  uint64_t blocks_scanned = 0;     ///< sequential element batches read
+  uint64_t ripple_steps = 0;
+  uint64_t partitions_scanned = 0;
+  uint64_t blocks_scanned = 0;
   uint64_t grows = 0;
+};
 
-  void Clear() { *this = ChunkStats{}; }
+/// Data-movement accounting, used by tests to pin the ripple algorithms to
+/// the cost model and by benches for reporting. Counters are relaxed atomics
+/// because const read paths account their data movement too: concurrent
+/// queries (and parallel shard scans within one query) bump them from many
+/// threads at once. Totals are exact under any interleaving of increments;
+/// Snapshot() is coherent only when taken between queries.
+struct ChunkStats {
+  RelaxedCounter element_reads;
+  RelaxedCounter element_writes;
+  RelaxedCounter ripple_steps;       ///< free-slot moves across boundaries
+  RelaxedCounter partitions_scanned; ///< partitions touched by queries
+  RelaxedCounter blocks_scanned;     ///< sequential element batches read
+  RelaxedCounter grows;
+
+  ChunkStatsSnapshot Snapshot() const {
+    ChunkStatsSnapshot s;
+    s.element_reads = element_reads.load();
+    s.element_writes = element_writes.load();
+    s.ripple_steps = ripple_steps.load();
+    s.partitions_scanned = partitions_scanned.load();
+    s.blocks_scanned = blocks_scanned.load();
+    s.grows = grows.load();
+    return s;
+  }
+
+  void Clear() {
+    element_reads.store(0);
+    element_writes.store(0);
+    ripple_steps.store(0);
+    partitions_scanned.store(0);
+    blocks_scanned.store(0);
+    grows.store(0);
+  }
 };
 
 }  // namespace casper

@@ -147,6 +147,61 @@ TEST(ParallelExec, PartitionedShardsAreChunks) {
   EXPECT_EQ(total, 30000u);
 }
 
+TEST(ParallelExec, EveryLayoutShardsMultiChunkTables) {
+  // 80000 rows: enough for >1 shard under every sharding scheme — NoOrder's
+  // 64K-row morsels, Sorted's 16K-row windows, the delta store's main
+  // windows + delta sub-shard, and the partitioned layouts' 4096-value
+  // chunks. NumShards() == 1 would silently serialize a layout under the
+  // executor; every layout must decompose.
+  const Fixture f = MakeFixture(80000, 29);
+  ThreadPool pool(4);
+  const ParallelExecutor par(&pool);
+  for (const LayoutMode mode : AllModes()) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    auto engine = BuildMode(mode, f);
+    EXPECT_GT(engine->NumShards(), 1u);
+    // The shard decomposition is exact: per-shard scans sum to the rows.
+    uint64_t total = 0;
+    for (size_t s = 0; s < engine->NumShards(); ++s) {
+      total += engine->ScanShard(s);
+    }
+    EXPECT_EQ(total, engine->num_rows());
+    EXPECT_EQ(par.ScanAll(*engine), 80000u);
+  }
+}
+
+TEST(LookupBatch, MatchesPointLookupAcrossLayouts) {
+  const Fixture f = MakeFixture(20000, 51);
+  ThreadPool pool(4);
+  // Mutate first so the delta store has a live delta and tombstones, the
+  // partitioned layouts have rippled, etc.
+  const auto mutations =
+      RandomOps(1000, f.data.domain_lo, f.data.domain_hi, /*seed=*/31);
+
+  Rng rng(13);
+  const uint64_t span =
+      static_cast<uint64_t>(f.data.domain_hi - f.data.domain_lo) + 1;
+  std::vector<Value> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back(f.data.domain_lo + static_cast<Value>(rng.Below(span)));
+  }
+  keys.push_back(keys.front());  // duplicate within the batch
+  keys.push_back(f.data.domain_hi + 10);  // absent key
+
+  for (const LayoutMode mode : AllModes()) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    auto engine = BuildMode(mode, f);
+    engine->ApplyBatch(mutations);
+    const std::vector<uint64_t> serial = engine->LookupBatch(keys);
+    const std::vector<uint64_t> pooled = engine->LookupBatch(keys, &pool);
+    ASSERT_EQ(serial.size(), keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(serial[i], engine->PointLookup(keys[i], nullptr)) << "key " << i;
+    }
+    EXPECT_EQ(serial, pooled);
+  }
+}
+
 TEST(ApplyBatch, EquivalentToOneByOneAcrossLayouts) {
   const Fixture f = MakeFixture(20000, 99);
   const auto ops =
