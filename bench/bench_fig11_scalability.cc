@@ -13,11 +13,22 @@
 // queries admitted at once to a ConcurrentQueryRunner sharing one pool
 // (possible since ChunkStats became relaxed atomics), again with per-query
 // results checked bit-identical to serial.
+//
+// Section 4 adds the mixed-workload axis: reads + write runs admitted
+// together to a MixedWorkloadRunner over the per-chunk epoch/latch layer
+// (reads overlap ingest; chunk-disjoint write runs commit in parallel), with
+// the checksum checked bit-identical to a single-threaded serial replay.
+//
+// CASPER_SMOKE=1 shrinks every sweep to a tiny iteration and
+// CASPER_BENCH_JSON=<path> writes the measured numbers as a flat JSON
+// artifact (the CI bench-smoke job uses both).
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "engine/harness.h"
 #include "exec/concurrent_query_runner.h"
+#include "exec/mixed_workload_runner.h"
 #include "exec/parallel_executor.h"
 #include "model/frequency_model.h"
 #include "optimizer/layout_planner.h"
@@ -66,9 +77,14 @@ double TimePlan(size_t data_size, size_t chunk_values, size_t block_values,
 
 /// Section 2: scan throughput vs thread count on one fixed layout. Parallel
 /// answers are checked bit-identical to serial before any number is printed.
-void ScanThreadsAxis() {
+std::vector<size_t> ThreadSweep() {
+  return SmokeMode() ? std::vector<size_t>{1, 2}
+                     : std::vector<size_t>{1, 2, 4, 8};
+}
+
+void ScanThreadsAxis(JsonMetrics* json) {
   std::printf("\n--- threads axis: morsel-driven scan fan-out ---\n");
-  const size_t rows = ScaledRows(4'000'000);
+  const size_t rows = ScaledRows(SmokeMode() ? 200'000 : 4'000'000);
   Rng rng(4242);
   auto data = hap::MakeDataset(rows, 3, rng);
 
@@ -96,14 +112,14 @@ void ScanThreadsAxis() {
   };
 
   const uint64_t serial_checksum = run_queries(ParallelExecutor(nullptr));
-  const size_t rounds = 5;
+  const size_t rounds = SmokeMode() ? 1 : 5;
   std::printf("%zu rows, %zu shards, %zu queries/round, %zu rounds\n", rows,
               engine->NumShards(), size_t{13}, rounds);
   std::printf("%8s %14s %18s %10s %10s\n", "threads", "time (ms)",
               "values scanned/s", "speedup", "identical");
 
   double base_ms = 0.0;
-  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  for (const size_t threads : ThreadSweep()) {
     ThreadPool pool(threads);
     const ParallelExecutor exec(&pool);
     uint64_t checksum = 0;
@@ -117,6 +133,7 @@ void ScanThreadsAxis() {
         (ms / 1000.0);
     std::printf("%8zu %14.2f %18.3e %9.2fx %10s\n", threads, ms, values_per_sec,
                 base_ms / ms, checksum == serial_checksum ? "yes" : "NO!");
+    json->Add("scan.threads=" + std::to_string(threads) + ".ms", ms);
   }
   std::printf("(expect: speedup tracking physical cores; results must stay\n"
               " bit-identical to serial at every thread count)\n");
@@ -124,9 +141,9 @@ void ScanThreadsAxis() {
 
 /// Section 3: N concurrent queries vs thread count on one fixed layout.
 /// Every per-query answer is checked bit-identical to its serial value.
-void ConcurrentQueriesAxis() {
+void ConcurrentQueriesAxis(JsonMetrics* json) {
   std::printf("\n--- inter-query axis: N concurrent queries, one pool ---\n");
-  const size_t rows = ScaledRows(2'000'000);
+  const size_t rows = ScaledRows(SmokeMode() ? 200'000 : 2'000'000);
   Rng rng(777);
   auto data = hap::MakeDataset(rows, 3, rng);
 
@@ -162,14 +179,14 @@ void ConcurrentQueriesAxis() {
   }
 
   const auto serial_results = ConcurrentQueryRunner(nullptr).Run(*engine, queries);
-  const size_t rounds = 5;
+  const size_t rounds = SmokeMode() ? 1 : 5;
   std::printf("%zu rows, %zu shards, %zu concurrent queries/round, %zu rounds\n",
               rows, engine->NumShards(), queries.size(), rounds);
   std::printf("%8s %14s %14s %10s %10s\n", "threads", "time (ms)", "queries/s",
               "speedup", "identical");
 
   double base_ms = 0.0;
-  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  for (const size_t threads : ThreadSweep()) {
     ThreadPool pool(threads);
     const ConcurrentQueryRunner runner(&pool);
     std::vector<uint64_t> results;
@@ -181,20 +198,72 @@ void ConcurrentQueriesAxis() {
                        static_cast<double>(rounds) / (ms / 1000.0);
     std::printf("%8zu %14.2f %14.1f %9.2fx %10s\n", threads, ms, qps,
                 base_ms / ms, results == serial_results ? "yes" : "NO!");
+    json->Add("interquery.threads=" + std::to_string(threads) + ".ms", ms);
   }
   std::printf("(expect: query throughput tracking physical cores; per-query\n"
               " answers must stay bit-identical to serial at every width)\n");
 }
 
+/// Section 4: mixed workload (reads + write runs) vs thread count. Each
+/// width rebuilds a fresh engine (writes mutate it) and the checksum is
+/// checked bit-identical to a single-threaded serial replay on a twin.
+void MixedWorkloadAxis(JsonMetrics* json) {
+  std::printf("\n--- mixed axis: reads overlapping ingest, one pool ---\n");
+  const size_t rows = ScaledRows(SmokeMode() ? 200'000 : 2'000'000);
+  Rng rng(888);
+  auto data = hap::MakeDataset(rows, 3, rng);
+
+  LayoutBuildOptions opts;
+  opts.mode = LayoutMode::kEquiWidthGhost;
+  opts.chunk_values = size_t{1} << 16;
+
+  // A hybrid stream: the HAP generator's skewed mix of point/range reads
+  // with insert/delete/update bursts.
+  const auto spec =
+      hap::MakeSpec(hap::Workload::kHybridSkewed, data.domain_lo, data.domain_hi);
+  Rng op_rng(4244);
+  const auto ops = GenerateWorkload(spec, NumOps(SmokeMode() ? 500 : 4000), op_rng);
+
+  HarnessOptions serial_opts;
+  serial_opts.record_latency = false;
+  serial_opts.key_derived_payload = true;
+  auto serial_engine = BuildLayout(opts, data.keys, data.payload);
+  const HarnessResult serial = RunWorkload(*serial_engine, ops, serial_opts);
+
+  std::printf("%zu rows, %zu ops/round (hybrid skewed)\n", rows, ops.size());
+  std::printf("%8s %14s %14s %10s %10s\n", "threads", "time (ms)", "ops/s",
+              "speedup", "identical");
+  double base_ms = 0.0;
+  for (const size_t threads : ThreadSweep()) {
+    auto engine = BuildLayout(opts, data.keys, data.payload);
+    ThreadPool pool(threads);
+    HarnessOptions mixed_opts = serial_opts;
+    mixed_opts.pool = &pool;
+    Stopwatch sw;
+    const HarnessResult mixed = RunWorkloadMixed(*engine, ops, mixed_opts);
+    const double ms = sw.ElapsedMillis();
+    if (threads == 1) base_ms = ms;
+    const double ops_per_sec =
+        static_cast<double>(ops.size()) / (ms / 1000.0);
+    std::printf("%8zu %14.2f %14.1f %9.2fx %10s\n", threads, ms, ops_per_sec,
+                base_ms / ms, mixed.checksum == serial.checksum ? "yes" : "NO!");
+    json->Add("mixed.threads=" + std::to_string(threads) + ".ms", ms);
+  }
+  std::printf("(expect: mixed throughput tracking cores as disjoint chunks\n"
+              " overlap; the checksum must match the serial replay exactly)\n");
+}
+
 int Main() {
   PrintHeader("Figure 11", "partitioning decision latency vs data size");
+  JsonMetrics json;
   const size_t block_values = 2048;
   ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
   std::printf("block = %zu values; parallelism = %zu threads\n", block_values,
               pool.num_threads());
   std::printf("%14s %16s %16s %16s %16s\n", "data size", "single job (ms)",
               "chunk=64K (ms)", "chunk=256K (ms)", "chunk=1M (ms)");
-  for (size_t e = 16; e <= 26; e += 2) {
+  const size_t e_max = SmokeMode() ? 18 : 26;
+  for (size_t e = 16; e <= e_max; e += 2) {
     const size_t n = size_t{1} << e;
     // The single job is O((N/B)^2) in the DP (the BIP the paper feeds Mosek
     // is cubic); cap it where it gets slow, like the paper's truncated line.
@@ -211,24 +280,28 @@ int Main() {
       std::printf("%14zu %16s %16.2f %16.2f %16.2f\n", n, "(skipped)", c64k,
                   c256k, c1m);
     }
+    json.Add("plan.n=" + std::to_string(n) + ".chunk64k.ms", c64k);
   }
   std::printf("(expect: single job superlinear; chunked linear in data size — the\n"
               " paper partitions 1e9 values in ~10s with 64 cores via chunking)\n");
 
   // Planning threads axis: same chunked problem, varying pool width.
   std::printf("\n--- threads axis: parallel per-chunk layout solving ---\n");
-  const size_t plan_n = size_t{1} << 24;
+  const size_t plan_n = SmokeMode() ? size_t{1} << 18 : size_t{1} << 24;
   std::printf("%8s %16s %10s\n", "threads", "chunk=64K (ms)", "speedup");
   double plan_base = 0.0;
-  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  for (const size_t threads : ThreadSweep()) {
     ThreadPool plan_pool(threads);
     const double ms = TimePlan(plan_n, size_t{1} << 16, block_values, &plan_pool);
     if (threads == 1) plan_base = ms;
     std::printf("%8zu %16.2f %9.2fx\n", threads, ms, plan_base / ms);
+    json.Add("plan.threads=" + std::to_string(threads) + ".ms", ms);
   }
 
-  ScanThreadsAxis();
-  ConcurrentQueriesAxis();
+  ScanThreadsAxis(&json);
+  ConcurrentQueriesAxis(&json);
+  MixedWorkloadAxis(&json);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -31,6 +31,46 @@ inline size_t NumOps(size_t base = 10000) {
   return s != nullptr ? static_cast<size_t>(std::atoll(s)) : base;
 }
 
+/// CASPER_SMOKE=1 shrinks sweeps to one tiny iteration — the CI bench-smoke
+/// job uses it to verify the bench binaries run end-to-end (and to capture a
+/// JSON trajectory artifact) without full-size runtimes.
+inline bool SmokeMode() {
+  const char* s = std::getenv("CASPER_SMOKE");
+  return s != nullptr && *s != '\0' && *s != '0';
+}
+
+/// Flat metric sink written as JSON to $CASPER_BENCH_JSON (if set) — the
+/// per-PR perf-trajectory artifact uploaded by the bench-smoke CI job.
+class JsonMetrics {
+ public:
+  void Add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes {"metric": value, ...} to the CASPER_BENCH_JSON path. No-op when
+  /// the variable is unset.
+  void WriteIfRequested() const {
+    const char* path = std::getenv("CASPER_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for bench JSON\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6f%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %zu metrics to %s\n", metrics_.size(), path);
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 inline void PrintHeader(const char* figure, const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", figure, title);

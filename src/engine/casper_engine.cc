@@ -46,4 +46,8 @@ std::vector<uint64_t> CasperEngine::RunConcurrent(
   return ConcurrentQueryRunner(pool_).Run(*engine_, queries);
 }
 
+MixedResult CasperEngine::RunMixed(const std::vector<Operation>& ops) {
+  return MixedWorkloadRunner(pool_, oracle_.get()).Run(*engine_, ops);
+}
+
 }  // namespace casper

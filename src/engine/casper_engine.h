@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/mixed_workload_runner.h"
 #include "layouts/layout_engine.h"
 #include "layouts/layout_factory.h"
 #include "util/thread_pool.h"
@@ -64,6 +65,13 @@ class CasperEngine {
     engine_->Insert(key, payload);
   }
 
+  /// Payload-carrying batch ingest (production write surface): inserts
+  /// caller-supplied rows through the layout's grouped, latch-protected
+  /// write path, fanned over the pool where the layout allows.
+  void InsertRows(const std::vector<Row>& rows) {
+    engine_->InsertRows(rows.data(), rows.size(), pool_);
+  }
+
   // (v) Update / delete.
   bool Update(Value old_key, Value new_key) {
     return engine_->UpdateKey(old_key, new_key);
@@ -83,6 +91,16 @@ class CasperEngine {
   /// serially. The engine must be quiescent (no concurrent writes).
   std::vector<uint64_t> RunConcurrent(const std::vector<Operation>& queries) const;
 
+  /// Mixed-workload admission: read queries and write runs execute together,
+  /// overlapped wherever their latch-domain footprints are disjoint (reads
+  /// during ingest, chunk-disjoint write runs in parallel), with results
+  /// bit-identical to a single-threaded serial replay of `ops`. Write items
+  /// are stamped with commit timestamps from this engine's oracle.
+  MixedResult RunMixed(const std::vector<Operation>& ops);
+
+  /// Commit-timestamp oracle shared by mixed runs (txn-layer ordering).
+  TimestampOracle& oracle() { return *oracle_; }
+
   LayoutMode mode() const { return engine_->mode(); }
   size_t num_rows() const { return engine_->num_rows(); }
   LayoutMemoryStats MemoryStats() const { return engine_->MemoryStats(); }
@@ -98,11 +116,15 @@ class CasperEngine {
                std::unique_ptr<ThreadPool> owned_pool, ThreadPool* pool)
       : engine_(std::move(engine)),
         owned_pool_(std::move(owned_pool)),
-        pool_(pool) {}
+        pool_(pool),
+        oracle_(std::make_unique<TimestampOracle>()) {}
 
   std::unique_ptr<LayoutEngine> engine_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< set when the engine made its own
   ThreadPool* pool_ = nullptr;              ///< may alias owned_pool_ or a caller's
+  /// Stamps mixed-run write commits (unique_ptr keeps the engine movable —
+  /// the oracle's atomic counter is not).
+  std::unique_ptr<TimestampOracle> oracle_;
 };
 
 }  // namespace casper

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "exec/concurrent_query_runner.h"
+#include "exec/mixed_workload_runner.h"
 #include "exec/parallel_executor.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -109,6 +110,23 @@ HarnessResult RunWorkloadConcurrent(const LayoutEngine& engine,
   const ConcurrentQueryRunner runner(options.pool);
   Stopwatch total;
   result.checksum = runner.RunChecksum(engine, ops, q3_cols);
+  result.seconds = total.ElapsedSeconds();
+  return result;
+}
+
+HarnessResult RunWorkloadMixed(LayoutEngine& engine,
+                               const std::vector<Operation>& ops,
+                               const HarnessOptions& options) {
+  HarnessResult result;
+  result.ops = ops.size();
+  // Same Q3 column clipping as the serial replay, so checksums line up.
+  std::vector<size_t> q3_cols;
+  for (const size_t c : options.q3_columns) {
+    if (c < engine.num_payload_columns()) q3_cols.push_back(c);
+  }
+  const MixedWorkloadRunner runner(options.pool);
+  Stopwatch total;
+  result.checksum = runner.Run(engine, ops, q3_cols).checksum;
   result.seconds = total.ElapsedSeconds();
   return result;
 }

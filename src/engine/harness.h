@@ -80,6 +80,17 @@ HarnessResult RunWorkloadConcurrent(const LayoutEngine& engine,
                                     const std::vector<Operation>& ops,
                                     const HarnessOptions& options);
 
+/// Replays a *mixed* stream (reads + writes interleaved) through the
+/// MixedWorkloadRunner: read queries overlap ingest and chunk-disjoint write
+/// runs commit in parallel, ordered only where their latch-domain footprints
+/// conflict. The checksum is bit-identical to RunWorkload over the same
+/// stream with key_derived_payload = true (write runs take key-derived
+/// payloads, like the batched path). Per-op latency is not recorded
+/// (operations overlap).
+HarnessResult RunWorkloadMixed(LayoutEngine& engine,
+                               const std::vector<Operation>& ops,
+                               const HarnessOptions& options);
+
 /// Pretty one-line summary: throughput + mean latency per present op class.
 std::string FormatResult(const HarnessResult& r);
 

@@ -31,8 +31,11 @@ class ThreadPool;
 ///
 /// The runner is a thin, copyable view (owns no threads). A null pool or a
 /// single worker degrades to a serial replay with identical results. Writes
-/// are not admitted: the engine must be quiescent (single-writer, no
-/// concurrent ApplyBatch) for the duration of Run().
+/// are not admitted here: Run() samples shard counts once up front, so the
+/// engine must not be mutated for the duration of the call. To admit read
+/// and write runs together — overlapped by latch domain with deterministic,
+/// serial-equivalent results — use MixedWorkloadRunner, the mixed-workload
+/// extension of this runner.
 class ConcurrentQueryRunner {
  public:
   explicit ConcurrentQueryRunner(ThreadPool* pool = nullptr) : pool_(pool) {}

@@ -27,7 +27,10 @@ class ThreadPool;
 /// Concurrency contract: reads are concurrent-clean — per-chunk access
 /// counters are relaxed atomics, so any number of queries may run against
 /// the same engine at once (see ConcurrentQueryRunner for the N-query
-/// admission layer). Writes still require exclusive access to the engine.
+/// admission layer). Since the epoch/latch layer (storage/chunk_latch.h)
+/// reads may even overlap writes memory-safely; for *deterministic* mixed
+/// execution use MixedWorkloadRunner, which orders conflicting items by
+/// latch domain.
 class ParallelExecutor {
  public:
   explicit ParallelExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}

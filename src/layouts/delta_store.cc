@@ -26,6 +26,12 @@ DeltaStoreLayout::DeltaStoreLayout(std::vector<Value> keys,
     : DeltaStoreLayout(std::move(keys), std::move(payload), Options()) {}
 
 size_t DeltaStoreLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
+  SharedChunkGuard guard(engine_latch_);
+  return PointLookupLocked(key, payload);
+}
+
+size_t DeltaStoreLayout::PointLookupLocked(Value key,
+                                           std::vector<Payload>* payload) const {
   size_t count = 0;
   size_t first_main = main_keys_.size();
   const auto [lo, hi] = std::equal_range(main_keys_.begin(), main_keys_.end(), key);
@@ -55,6 +61,7 @@ size_t DeltaStoreLayout::PointLookup(Value key, std::vector<Payload>* payload) c
 }
 
 uint64_t DeltaStoreLayout::CountRange(Value lo, Value hi) const {
+  SharedChunkGuard guard(engine_latch_);
   const size_t first =
       static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
                           main_keys_.begin());
@@ -70,6 +77,7 @@ uint64_t DeltaStoreLayout::CountRange(Value lo, Value hi) const {
 
 int64_t DeltaStoreLayout::SumPayloadRange(Value lo, Value hi,
                                           const std::vector<size_t>& cols) const {
+  SharedChunkGuard guard(engine_latch_);
   const size_t first =
       static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
                           main_keys_.begin());
@@ -93,6 +101,7 @@ int64_t DeltaStoreLayout::SumPayloadRange(Value lo, Value hi,
 
 int64_t DeltaStoreLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                                  Payload qty_max) const {
+  SharedChunkGuard guard(engine_latch_);
   if (main_payload_.size() < 3) return 0;
   const size_t first =
       static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
@@ -128,6 +137,7 @@ std::pair<size_t, size_t> DeltaStoreLayout::MainShardWindow(size_t shard, Value 
 }
 
 uint64_t DeltaStoreLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+  SharedChunkGuard guard(engine_latch_);
   if (shard < NumMainShards()) {
     const auto [first, last] = MainShardWindow(shard, lo, hi);
     uint64_t count = 0;
@@ -141,6 +151,7 @@ uint64_t DeltaStoreLayout::CountRangeShard(size_t shard, Value lo, Value hi) con
 
 int64_t DeltaStoreLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                                const std::vector<size_t>& cols) const {
+  SharedChunkGuard guard(engine_latch_);
   int64_t sum = 0;
   if (shard < NumMainShards()) {
     const auto [first, last] = MainShardWindow(shard, lo, hi);
@@ -162,6 +173,7 @@ int64_t DeltaStoreLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
 int64_t DeltaStoreLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
                                       Payload disc_lo, Payload disc_hi,
                                       Payload qty_max) const {
+  SharedChunkGuard guard(engine_latch_);
   if (main_payload_.size() < 3) return 0;
   int64_t sum = 0;
   if (shard < NumMainShards()) {
@@ -189,13 +201,37 @@ int64_t DeltaStoreLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
 }
 
 void DeltaStoreLayout::Insert(Value key, const std::vector<Payload>& payload) {
+  ExclusiveChunkGuard guard(engine_latch_);
+  InsertLocked(key, payload);
+}
+
+void DeltaStoreLayout::InsertLocked(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == main_payload_.size());
   delta_keys_.push_back(key);
   for (size_t c = 0; c < payload.size(); ++c) delta_payload_[c].push_back(payload[c]);
   MaybeMerge();
 }
 
+void DeltaStoreLayout::InsertRows(const Row* rows, size_t n, ThreadPool* /*pool*/) {
+  ExclusiveChunkGuard guard(engine_latch_);
+  delta_keys_.reserve(delta_keys_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    CASPER_CHECK(rows[i].payload.size() == main_payload_.size());
+    delta_keys_.push_back(rows[i].key);
+    for (size_t c = 0; c < main_payload_.size(); ++c) {
+      delta_payload_[c].push_back(rows[i].payload[c]);
+    }
+  }
+  // One merge check for the whole run, like the batched Operation path.
+  MaybeMerge();
+}
+
 size_t DeltaStoreLayout::Delete(Value key) {
+  ExclusiveChunkGuard guard(engine_latch_);
+  return DeleteLocked(key);
+}
+
+size_t DeltaStoreLayout::DeleteLocked(Value key) {
   // Prefer the delta (cheap swap-remove), then tombstone the main store.
   for (size_t i = 0; i < delta_keys_.size(); ++i) {
     if (delta_keys_[i] == key) {
@@ -221,11 +257,13 @@ size_t DeltaStoreLayout::Delete(Value key) {
 }
 
 bool DeltaStoreLayout::UpdateKey(Value old_key, Value new_key) {
-  // Classic delta-store update: delete + re-insert (paper §3 "Updates").
+  // Classic delta-store update: delete + re-insert (paper §3 "Updates"),
+  // atomic under one exclusive hold of the engine latch.
+  ExclusiveChunkGuard guard(engine_latch_);
   std::vector<Payload> row;
-  if (PointLookup(old_key, &row) == 0) return false;
-  Delete(old_key);
-  Insert(new_key, row);
+  if (PointLookupLocked(old_key, &row) == 0) return false;
+  DeleteLocked(old_key);
+  InsertLocked(new_key, row);
   return true;
 }
 
@@ -233,6 +271,7 @@ void DeltaStoreLayout::LookupBatch(const Value* keys, size_t n,
                                    uint64_t* out_counts,
                                    ThreadPool* /*pool*/) const {
   if (n == 0) return;
+  SharedChunkGuard guard(engine_latch_);
   // One delta pass for the whole run; the sorted main store stays per-key
   // binary searches (already cheap).
   std::unordered_map<Value, uint64_t> delta_counts;
@@ -259,6 +298,7 @@ BatchResult DeltaStoreLayout::ApplyBatch(const Operation* ops, size_t n,
   return ApplyBatchInsertRuns(
       *this, ops, n,
       [&](const std::vector<Value>& run) {
+        ExclusiveChunkGuard guard(engine_latch_);
         delta_keys_.reserve(delta_keys_.size() + run.size());
         for (const Value key : run) {
           delta_keys_.push_back(key);
@@ -272,17 +312,25 @@ BatchResult DeltaStoreLayout::ApplyBatch(const Operation* ops, size_t n,
       pool);
 }
 
-size_t DeltaStoreLayout::num_rows() const { return main_live_ + delta_keys_.size(); }
+size_t DeltaStoreLayout::num_rows() const {
+  SharedChunkGuard guard(engine_latch_);
+  return main_live_ + delta_keys_.size();
+}
 
 void DeltaStoreLayout::MaybeMerge() {
   const size_t threshold =
       std::max(opts_.min_merge_rows,
                static_cast<size_t>(opts_.merge_fraction *
                                    static_cast<double>(main_keys_.size())));
-  if (delta_keys_.size() >= threshold) Merge();
+  if (delta_keys_.size() >= threshold) MergeLocked();
 }
 
 void DeltaStoreLayout::Merge() {
+  ExclusiveChunkGuard guard(engine_latch_);
+  MergeLocked();
+}
+
+void DeltaStoreLayout::MergeLocked() {
   // Sort the delta (with payload permutation), then merge with the live part
   // of the main store.
   std::vector<size_t> order(delta_keys_.size());
@@ -330,15 +378,18 @@ void DeltaStoreLayout::Merge() {
 }
 
 LayoutMemoryStats DeltaStoreLayout::MemoryStats() const {
+  SharedChunkGuard guard(engine_latch_);
   LayoutMemoryStats s;
   const size_t row_bytes = sizeof(Value) + main_payload_.size() * sizeof(Payload);
-  s.data_bytes = num_rows() * row_bytes;
+  // Direct fields, not num_rows(): this method already holds the latch.
+  s.data_bytes = (main_live_ + delta_keys_.size()) * row_bytes;
   s.total_bytes = (main_keys_.size() + delta_keys_.size()) * row_bytes +
                   deleted_.size() * sizeof(uint8_t);
   return s;
 }
 
 void DeltaStoreLayout::ValidateInvariants() const {
+  SharedChunkGuard guard(engine_latch_);
   CASPER_CHECK(std::is_sorted(main_keys_.begin(), main_keys_.end()));
   CASPER_CHECK(deleted_.size() == main_keys_.size());
   size_t live = 0;

@@ -57,6 +57,11 @@ class DeltaStoreLayout final : public LayoutEngine {
                    ThreadPool* pool = nullptr) const override;
   using LayoutEngine::LookupBatch;
 
+  /// Payload-carrying ingest: bulk delta append with one merge check for the
+  /// run, under the engine latch.
+  void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr) override;
+  using LayoutEngine::InsertRows;
+
   // Sharded read surface: the main/delta pair is naturally parallel — the
   // sorted main store splits into fixed-width row windows (binary-searched
   // per shard like SortedLayout, with the delete bitmap applied), and the
@@ -64,6 +69,7 @@ class DeltaStoreLayout final : public LayoutEngine {
   // [0, M) are main windows, shard M is the delta.
   static constexpr size_t kMainShardRows = size_t{1} << 14;
   size_t NumShards() const override {
+    SharedChunkGuard guard(engine_latch_);
     return NumMainShards() + 1;  // + the delta sub-shard (may be empty)
   }
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
@@ -85,6 +91,12 @@ class DeltaStoreLayout final : public LayoutEngine {
   void Merge();
 
  private:
+  // Latch-free internals; public wrappers hold the engine latch (UpdateKey
+  // composes lookup + delete + insert under one exclusive hold).
+  size_t PointLookupLocked(Value key, std::vector<Payload>* payload) const;
+  void InsertLocked(Value key, const std::vector<Payload>& payload);
+  size_t DeleteLocked(Value key);
+  void MergeLocked();
   void MaybeMerge();
 
   size_t NumMainShards() const {

@@ -54,6 +54,12 @@ void LayoutEngine::LookupBatch(const Value* keys, size_t n, uint64_t* out_counts
   }
 }
 
+void LayoutEngine::InsertRows(const Row* rows, size_t n, ThreadPool* /*pool*/) {
+  // Serial fallback: one routed insert per row. Layouts with a groupable
+  // write path override with bulk variants.
+  for (size_t i = 0; i < n; ++i) Insert(rows[i].key, rows[i].payload);
+}
+
 BatchResult LayoutEngine::ApplyBatch(const Operation* ops, size_t n,
                                      ThreadPool* /*pool*/) {
   // Serial fallback: apply in order. Layouts with a routable write path

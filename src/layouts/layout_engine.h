@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/chunk_latch.h"
 #include "storage/types.h"
 #include "workload/ops.h"
 
@@ -65,6 +66,13 @@ void KeyDerivedPayload(Value key, size_t num_columns, std::vector<Payload>* out)
 /// layouts by column chunk, NoOrder by fixed row morsels, Sorted by
 /// binary-searched row windows, and the delta store into main sub-shards
 /// plus the delta buffer.
+///
+/// Concurrency: every read and write path is routed through an epoch/latch
+/// (chunk_latch.h) — per chunk for the partitioned layouts, whole-engine for
+/// the single-store ones — so reads may overlap ingest and chunk-disjoint
+/// write runs commit in parallel. The latch-domain surface below exposes the
+/// conflict structure to schedulers (exec/mixed_workload_runner) that need
+/// deterministic, serial-equivalent mixed execution.
 class LayoutEngine {
  public:
   virtual ~LayoutEngine() = default;
@@ -105,6 +113,44 @@ class LayoutEngine {
 
   /// Structural self-check (test hook); default no-op.
   virtual void ValidateInvariants() const {}
+
+  // --- Concurrency-control surface (epoch/latch domains) -------------------
+
+  /// Number of independent latch domains. The partitioned layouts expose one
+  /// domain per column chunk; NoOrder, Sorted and the delta store have a
+  /// single domain guarding the whole store. Reads and writes on distinct
+  /// domains never conflict; the domain count is fixed for the engine's
+  /// lifetime (chunk routing bounds are build-time constants).
+  virtual size_t NumLatchDomains() const { return 1; }
+
+  /// Latch domain a write on `key` routes to.
+  virtual size_t WriteDomain(Value key) const {
+    (void)key;
+    return 0;
+  }
+
+  /// Appends the latch domains a read over [lo, hi) may touch (point reads
+  /// pass hi == lo + 1). Conservative supersets are allowed.
+  virtual void ReadDomains(Value lo, Value hi, std::vector<size_t>* out) const {
+    (void)lo;
+    (void)hi;
+    out->push_back(0);
+  }
+
+  /// The epoch/latch protecting `domain` — for epoch sniffing
+  /// (ChunkLatch::WriteActive) and snapshot validation (txn::ChunkSnapshot);
+  /// the engine's own paths already latch internally.
+  virtual const ChunkLatch& DomainLatch(size_t domain) const {
+    (void)domain;
+    return engine_latch_;
+  }
+
+  /// Latch domain the given read shard falls under (shard-granular epoch
+  /// sniffing for validate-and-retry morsel scans).
+  virtual size_t ShardDomain(size_t shard) const {
+    (void)shard;
+    return 0;
+  }
 
   // --- Sharded read surface (morsel-driven execution, exec/) ---------------
 
@@ -169,6 +215,23 @@ class LayoutEngine {
                          ThreadPool* pool = nullptr) {
     return ApplyBatch(ops.data(), ops.size(), pool);
   }
+
+  /// Payload-carrying batch ingest (the production write surface, vs the
+  /// Operation stream's key-derived payloads): inserts `n` caller-supplied
+  /// rows with logical results identical to calling Insert(row.key,
+  /// row.payload) in order. Implementations group/bulk the run (chunk-routed
+  /// and pool-parallel where the layout allows); the default applies
+  /// row-by-row.
+  virtual void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr);
+  void InsertRows(const std::vector<Row>& rows, ThreadPool* pool = nullptr) {
+    InsertRows(rows.data(), rows.size(), pool);
+  }
+
+ protected:
+  /// Whole-engine epoch/latch for single-domain layouts. Implementations
+  /// with finer-grained protection (PartitionedLayout) override the domain
+  /// surface and leave this unused.
+  mutable ChunkLatch engine_latch_;
 };
 
 /// Applies one operation through the per-op surface, folding the outcome

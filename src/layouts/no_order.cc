@@ -13,6 +13,7 @@ NoOrderLayout::NoOrderLayout(std::vector<Value> keys,
 }
 
 size_t NoOrderLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
+  SharedChunkGuard guard(engine_latch_);
   size_t count = 0;
   size_t first = keys_.size();
   for (size_t i = 0; i < keys_.size(); ++i) {
@@ -32,6 +33,7 @@ size_t NoOrderLayout::PointLookup(Value key, std::vector<Payload>* payload) cons
 }
 
 uint64_t NoOrderLayout::CountRange(Value lo, Value hi) const {
+  SharedChunkGuard guard(engine_latch_);
   uint64_t count = 0;
   for (const Value k : keys_) count += (k >= lo && k < hi);
   return count;
@@ -39,6 +41,7 @@ uint64_t NoOrderLayout::CountRange(Value lo, Value hi) const {
 
 int64_t NoOrderLayout::SumPayloadRange(Value lo, Value hi,
                                        const std::vector<size_t>& cols) const {
+  SharedChunkGuard guard(engine_latch_);
   int64_t sum = 0;
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (keys_[i] >= lo && keys_[i] < hi) {
@@ -50,6 +53,7 @@ int64_t NoOrderLayout::SumPayloadRange(Value lo, Value hi,
 
 int64_t NoOrderLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                               Payload qty_max) const {
+  SharedChunkGuard guard(engine_latch_);
   if (payload_.size() < 3) return 0;
   const auto& qty = payload_[0];
   const auto& disc = payload_[1];
@@ -65,6 +69,7 @@ int64_t NoOrderLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_
 }
 
 uint64_t NoOrderLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+  SharedChunkGuard guard(engine_latch_);
   const auto [begin, end] = MorselBounds(shard);
   uint64_t count = 0;
   for (size_t i = begin; i < end; ++i) {
@@ -75,6 +80,7 @@ uint64_t NoOrderLayout::CountRangeShard(size_t shard, Value lo, Value hi) const 
 
 int64_t NoOrderLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                             const std::vector<size_t>& cols) const {
+  SharedChunkGuard guard(engine_latch_);
   const auto [begin, end] = MorselBounds(shard);
   int64_t sum = 0;
   for (size_t i = begin; i < end; ++i) {
@@ -88,6 +94,7 @@ int64_t NoOrderLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
 int64_t NoOrderLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
                                    Payload disc_lo, Payload disc_hi,
                                    Payload qty_max) const {
+  SharedChunkGuard guard(engine_latch_);
   if (payload_.size() < 3) return 0;
   const auto [begin, end] = MorselBounds(shard);
   const auto& qty = payload_[0];
@@ -106,6 +113,7 @@ int64_t NoOrderLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
 void NoOrderLayout::LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
                                 ThreadPool* /*pool*/) const {
   if (n == 0) return;
+  SharedChunkGuard guard(engine_latch_);
   // Group the queried keys, then answer every one of them with a single
   // pass over the column — O(rows + n) for the run instead of n full scans.
   std::unordered_map<Value, uint64_t> counts;
@@ -124,6 +132,7 @@ BatchResult NoOrderLayout::ApplyBatch(const Operation* ops, size_t n,
   return ApplyBatchInsertRuns(
       *this, ops, n,
       [&](const std::vector<Value>& run) {
+        ExclusiveChunkGuard guard(engine_latch_);
         keys_.reserve(keys_.size() + run.size());
         for (const Value key : run) {
           keys_.push_back(key);
@@ -134,13 +143,27 @@ BatchResult NoOrderLayout::ApplyBatch(const Operation* ops, size_t n,
       pool);
 }
 
+void NoOrderLayout::InsertRows(const Row* rows, size_t n, ThreadPool* /*pool*/) {
+  ExclusiveChunkGuard guard(engine_latch_);
+  keys_.reserve(keys_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    CASPER_CHECK(rows[i].payload.size() == payload_.size());
+    keys_.push_back(rows[i].key);
+    for (size_t c = 0; c < payload_.size(); ++c) {
+      payload_[c].push_back(rows[i].payload[c]);
+    }
+  }
+}
+
 void NoOrderLayout::Insert(Value key, const std::vector<Payload>& payload) {
+  ExclusiveChunkGuard guard(engine_latch_);
   CASPER_CHECK(payload.size() == payload_.size());
   keys_.push_back(key);
   for (size_t c = 0; c < payload_.size(); ++c) payload_[c].push_back(payload[c]);
 }
 
 size_t NoOrderLayout::Delete(Value key) {
+  ExclusiveChunkGuard guard(engine_latch_);
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (keys_[i] == key) {
       keys_[i] = keys_.back();
@@ -156,6 +179,7 @@ size_t NoOrderLayout::Delete(Value key) {
 }
 
 bool NoOrderLayout::UpdateKey(Value old_key, Value new_key) {
+  ExclusiveChunkGuard guard(engine_latch_);
   for (auto& k : keys_) {
     if (k == old_key) {
       k = new_key;  // in-place update: the luxury of an unordered layout
@@ -166,6 +190,7 @@ bool NoOrderLayout::UpdateKey(Value old_key, Value new_key) {
 }
 
 LayoutMemoryStats NoOrderLayout::MemoryStats() const {
+  SharedChunkGuard guard(engine_latch_);
   LayoutMemoryStats s;
   s.data_bytes = keys_.size() * sizeof(Value) +
                  payload_.size() * keys_.size() * sizeof(Payload);
@@ -174,6 +199,7 @@ LayoutMemoryStats NoOrderLayout::MemoryStats() const {
 }
 
 void NoOrderLayout::ValidateInvariants() const {
+  SharedChunkGuard guard(engine_latch_);
   for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
 }
 

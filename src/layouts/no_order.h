@@ -29,9 +29,12 @@ class NoOrderLayout final : public LayoutEngine {
   bool UpdateKey(Value old_key, Value new_key) override;
 
   // Sharded read surface: fixed-width row morsels over the insertion-order
-  // arrays (there is no key structure to shard by).
+  // arrays (there is no key structure to shard by). NumShards latches shared
+  // (row count moves under writers); a stale shard index read after a
+  // concurrent shrink clamps to an empty morsel.
   static constexpr size_t kMorselRows = size_t{1} << 16;
   size_t NumShards() const override {
+    SharedChunkGuard guard(engine_latch_);
     return keys_.empty() ? 1 : (keys_.size() + kMorselRows - 1) / kMorselRows;
   }
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
@@ -53,7 +56,15 @@ class NoOrderLayout final : public LayoutEngine {
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;
 
-  size_t num_rows() const override { return keys_.size(); }
+  /// Payload-carrying ingest: one reserve + bulk append under the engine
+  /// latch.
+  void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr) override;
+  using LayoutEngine::InsertRows;
+
+  size_t num_rows() const override {
+    SharedChunkGuard guard(engine_latch_);
+    return keys_.size();
+  }
   size_t num_payload_columns() const override { return payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;

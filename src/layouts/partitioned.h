@@ -42,6 +42,25 @@ class PartitionedLayout final : public LayoutEngine {
     return table_.UpdateKey(old_key, new_key);
   }
 
+  // Concurrency-control surface: one latch domain per column chunk — the
+  // unit at which reads overlap ingest and disjoint write runs commit in
+  // parallel (PartitionedTable latches every path internally).
+  size_t NumLatchDomains() const override { return table_.num_chunks(); }
+  size_t WriteDomain(Value key) const override { return table_.ChunkFor(key); }
+  void ReadDomains(Value lo, Value hi, std::vector<size_t>* out) const override {
+    if (lo >= hi) return;
+    // Chunks cover contiguous sorted key ranges, so the overlap set is the
+    // contiguous window [ChunkFor(lo), ChunkFor(hi - 1)] — two binary
+    // searches instead of an O(num_chunks) scan per range read.
+    const size_t first = table_.ChunkFor(lo);
+    const size_t last = table_.ChunkFor(hi - 1);
+    for (size_t c = first; c <= last; ++c) out->push_back(c);
+  }
+  const ChunkLatch& DomainLatch(size_t domain) const override {
+    return table_.chunk_latch(domain);
+  }
+  size_t ShardDomain(size_t shard) const override { return shard; }
+
   // Sharded read surface: one shard per column chunk (chunks are the
   // independent layout/tuning unit of paper §4.4, and here the independent
   // execution unit too).
@@ -73,6 +92,13 @@ class PartitionedLayout final : public LayoutEngine {
   BatchResult ApplyBatch(const Operation* ops, size_t n,
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;
+
+  /// Payload-carrying ingest: one routed, chunk-grouped, latch-protected
+  /// write run (PartitionedTable::BatchWriteRows).
+  void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr) override {
+    table_.BatchWriteRows(rows, n, pool);
+  }
+  using LayoutEngine::InsertRows;
 
   size_t num_rows() const override { return table_.num_rows(); }
   size_t num_payload_columns() const override {

@@ -14,6 +14,7 @@ SortedLayout::SortedLayout(std::vector<Value> keys,
 }
 
 size_t SortedLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
+  SharedChunkGuard guard(engine_latch_);
   const auto [first, last] = std::equal_range(keys_.begin(), keys_.end(), key);
   const size_t count = static_cast<size_t>(last - first);
   if (payload != nullptr) {
@@ -27,6 +28,7 @@ size_t SortedLayout::PointLookup(Value key, std::vector<Payload>* payload) const
 }
 
 uint64_t SortedLayout::CountRange(Value lo, Value hi) const {
+  SharedChunkGuard guard(engine_latch_);
   const auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
   const auto last = std::lower_bound(first, keys_.end(), hi);
   return static_cast<uint64_t>(last - first);
@@ -34,6 +36,7 @@ uint64_t SortedLayout::CountRange(Value lo, Value hi) const {
 
 int64_t SortedLayout::SumPayloadRange(Value lo, Value hi,
                                       const std::vector<size_t>& cols) const {
+  SharedChunkGuard guard(engine_latch_);
   const size_t first =
       static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), lo) -
                           keys_.begin());
@@ -50,6 +53,7 @@ int64_t SortedLayout::SumPayloadRange(Value lo, Value hi,
 
 int64_t SortedLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                              Payload qty_max) const {
+  SharedChunkGuard guard(engine_latch_);
   if (payload_.size() < 3) return 0;
   const size_t first =
       static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), lo) -
@@ -75,12 +79,14 @@ std::pair<size_t, size_t> SortedLayout::ShardWindow(size_t shard, Value lo,
 }
 
 uint64_t SortedLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+  SharedChunkGuard guard(engine_latch_);
   const auto [first, last] = ShardWindow(shard, lo, hi);
   return static_cast<uint64_t>(last - first);
 }
 
 int64_t SortedLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                            const std::vector<size_t>& cols) const {
+  SharedChunkGuard guard(engine_latch_);
   const auto [first, last] = ShardWindow(shard, lo, hi);
   int64_t sum = 0;
   for (const size_t c : cols) {
@@ -93,6 +99,7 @@ int64_t SortedLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
 int64_t SortedLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
                                   Payload disc_lo, Payload disc_hi,
                                   Payload qty_max) const {
+  SharedChunkGuard guard(engine_latch_);
   if (payload_.size() < 3) return 0;
   const auto [first, last] = ShardWindow(shard, lo, hi);
   const auto& qty = payload_[0];
@@ -108,6 +115,11 @@ int64_t SortedLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
 }
 
 void SortedLayout::Insert(Value key, const std::vector<Payload>& payload) {
+  ExclusiveChunkGuard guard(engine_latch_);
+  InsertLocked(key, payload);
+}
+
+void SortedLayout::InsertLocked(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == payload_.size());
   const size_t pos = static_cast<size_t>(
       std::upper_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
@@ -118,6 +130,7 @@ void SortedLayout::Insert(Value key, const std::vector<Payload>& payload) {
 }
 
 size_t SortedLayout::Delete(Value key) {
+  ExclusiveChunkGuard guard(engine_latch_);
   const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
   if (it == keys_.end() || *it != key) return 0;
   const size_t pos = static_cast<size_t>(it - keys_.begin());
@@ -127,6 +140,7 @@ size_t SortedLayout::Delete(Value key) {
 }
 
 bool SortedLayout::UpdateKey(Value old_key, Value new_key) {
+  ExclusiveChunkGuard guard(engine_latch_);
   const auto it = std::lower_bound(keys_.begin(), keys_.end(), old_key);
   if (it == keys_.end() || *it != old_key) return false;
   const size_t pos = static_cast<size_t>(it - keys_.begin());
@@ -134,29 +148,28 @@ bool SortedLayout::UpdateKey(Value old_key, Value new_key) {
   for (size_t c = 0; c < payload_.size(); ++c) row[c] = payload_[c][pos];
   keys_.erase(it);
   for (auto& col : payload_) col.erase(col.begin() + static_cast<ptrdiff_t>(pos));
-  Insert(new_key, row);
+  InsertLocked(new_key, row);
   return true;
 }
 
-void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
-  std::vector<Value> sorted_batch = batch_keys;
-  std::stable_sort(sorted_batch.begin(), sorted_batch.end());
+void SortedLayout::MergeRowsLocked(std::vector<Row> rows) {
+  // Stable sort keeps batch order among equal keys, and the <= tie-break
+  // toward the existing run reproduces upper_bound placement — the merged
+  // column is exactly what sequential Insert calls would have produced.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.key < b.key; });
 
-  const size_t total = keys_.size() + sorted_batch.size();
+  const size_t total = keys_.size() + rows.size();
   std::vector<Value> merged_keys;
   merged_keys.reserve(total);
   std::vector<std::vector<Payload>> merged_payload(payload_.size());
   for (auto& col : merged_payload) col.reserve(total);
 
-  std::vector<Payload> row;
   size_t mi = 0;
   size_t bi = 0;
-  while (mi < keys_.size() || bi < sorted_batch.size()) {
-    // Tie-break toward the existing run: upper_bound placement, so the batch
-    // lands exactly where sequential Insert calls would have put it.
-    const bool take_main = mi < keys_.size() &&
-                           (bi >= sorted_batch.size() ||
-                            keys_[mi] <= sorted_batch[bi]);
+  while (mi < keys_.size() || bi < rows.size()) {
+    const bool take_main =
+        mi < keys_.size() && (bi >= rows.size() || keys_[mi] <= rows[bi].key);
     if (take_main) {
       merged_keys.push_back(keys_[mi]);
       for (size_t c = 0; c < payload_.size(); ++c) {
@@ -164,10 +177,9 @@ void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
       }
       ++mi;
     } else {
-      merged_keys.push_back(sorted_batch[bi]);
-      KeyDerivedPayload(sorted_batch[bi], payload_.size(), &row);
+      merged_keys.push_back(rows[bi].key);
       for (size_t c = 0; c < payload_.size(); ++c) {
-        merged_payload[c].push_back(row[c]);
+        merged_payload[c].push_back(rows[bi].payload[c]);
       }
       ++bi;
     }
@@ -176,14 +188,35 @@ void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
   payload_ = std::move(merged_payload);
 }
 
+void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
+  std::vector<Row> rows(batch_keys.size());
+  for (size_t i = 0; i < batch_keys.size(); ++i) {
+    rows[i].key = batch_keys[i];
+    KeyDerivedPayload(batch_keys[i], payload_.size(), &rows[i].payload);
+  }
+  MergeRowsLocked(std::move(rows));
+}
+
+void SortedLayout::InsertRows(const Row* rows, size_t n, ThreadPool* /*pool*/) {
+  std::vector<Row> run(rows, rows + n);
+  for (const Row& r : run) CASPER_CHECK(r.payload.size() == payload_.size());
+  ExclusiveChunkGuard guard(engine_latch_);
+  MergeRowsLocked(std::move(run));
+}
+
 BatchResult SortedLayout::ApplyBatch(const Operation* ops, size_t n,
                                      ThreadPool* pool) {
   return ApplyBatchInsertRuns(
-      *this, ops, n, [&](const std::vector<Value>& run) { MergeInsertRun(run); },
+      *this, ops, n,
+      [&](const std::vector<Value>& run) {
+        ExclusiveChunkGuard guard(engine_latch_);
+        MergeInsertRun(run);
+      },
       pool);
 }
 
 LayoutMemoryStats SortedLayout::MemoryStats() const {
+  SharedChunkGuard guard(engine_latch_);
   LayoutMemoryStats s;
   s.data_bytes = keys_.size() * sizeof(Value) +
                  payload_.size() * keys_.size() * sizeof(Payload);
@@ -192,6 +225,7 @@ LayoutMemoryStats SortedLayout::MemoryStats() const {
 }
 
 void SortedLayout::ValidateInvariants() const {
+  SharedChunkGuard guard(engine_latch_);
   CASPER_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
   for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
 }

@@ -35,6 +35,11 @@ class SortedLayout final : public LayoutEngine {
                          ThreadPool* pool = nullptr) override;
   using LayoutEngine::ApplyBatch;
 
+  /// Payload-carrying ingest: one stable-sorted merge pass under the engine
+  /// latch, placement identical to sequential Insert calls.
+  void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr) override;
+  using LayoutEngine::InsertRows;
+
   // Sharded read surface: the sorted run is range-split into fixed-width row
   // windows; each shard binary-searches the query bounds *within its own
   // window*, so the per-shard work is O(log w + qualifying rows) and the
@@ -42,6 +47,7 @@ class SortedLayout final : public LayoutEngine {
   // straddling a split point are counted once per side, never twice.
   static constexpr size_t kShardRows = size_t{1} << 14;
   size_t NumShards() const override {
+    SharedChunkGuard guard(engine_latch_);
     return keys_.empty() ? 1 : (keys_.size() + kShardRows - 1) / kShardRows;
   }
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
@@ -50,12 +56,19 @@ class SortedLayout final : public LayoutEngine {
   int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
                       Payload disc_hi, Payload qty_max) const override;
 
-  size_t num_rows() const override { return keys_.size(); }
+  size_t num_rows() const override {
+    SharedChunkGuard guard(engine_latch_);
+    return keys_.size();
+  }
   size_t num_payload_columns() const override { return payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
 
  private:
+  /// Insert without taking the engine latch (callers hold it exclusively).
+  void InsertLocked(Value key, const std::vector<Payload>& payload);
+  /// One-pass merge of caller rows into the sorted column (latch held).
+  void MergeRowsLocked(std::vector<Row> rows);
   void MergeInsertRun(const std::vector<Value>& batch_keys);
 
   /// Qualifying row positions [first, last) of [lo, hi) inside this shard's

@@ -1,0 +1,120 @@
+#ifndef CASPER_STORAGE_CHUNK_LATCH_H_
+#define CASPER_STORAGE_CHUNK_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+
+namespace casper {
+
+/// Per-chunk concurrency control: a shared/exclusive latch fused with a
+/// seqlock-style epoch counter. This is the protection layer that lets read
+/// queries overlap ingest (paper's hybrid premise — reads and writes arrive
+/// interleaved) instead of requiring a quiescent engine:
+///
+/// - Readers take the latch shared; any number may hold it at once.
+/// - Writers take it exclusive and advance the epoch twice: to an odd value
+///   on entry, back to even on exit. The epoch is therefore odd exactly
+///   while a writer is inside the chunk.
+/// - Morsel scans use the epoch to *validate-and-retry instead of blocking*:
+///   sniff `WriteActive()` before a shard, defer busy shards to a second
+///   pass, and only then block on the latch (see exec/mixed_workload_runner).
+/// - Seqlock reads over atomic payloads (e.g. ChunkStats' relaxed counters)
+///   use `ReadBegin()` / `ReadValidate()` to obtain a copy that is coherent
+///   with respect to writers, without ever touching the mutex.
+///
+/// Chunk-disjoint write runs each hold only their own chunk's latch, so
+/// multi-writer ingest commits in parallel; writers touching the same chunk
+/// serialize on it. Lock ordering rule for multi-chunk writers (cross-chunk
+/// updates): acquire in ascending chunk index, so no cycle can form.
+class ChunkLatch {
+ public:
+  ChunkLatch() = default;
+  ChunkLatch(const ChunkLatch&) = delete;
+  ChunkLatch& operator=(const ChunkLatch&) = delete;
+
+  // --- Writer side ----------------------------------------------------------
+
+  void LockExclusive() {
+    mu_.lock();
+    // even -> odd: writer in. The release fence orders the odd increment
+    // before the writer's payload stores (Boehm-style seqlock writer entry):
+    // a reader that observes any of those stores and then issues its own
+    // acquire fence (ReadValidate) is guaranteed to see the odd epoch.
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void UnlockExclusive() {
+    // odd -> even: writer out. The release increment orders every payload
+    // store before the even value, so a reader whose ReadBegin acquires the
+    // new even epoch sees the completed write.
+    epoch_.fetch_add(1, std::memory_order_release);
+    mu_.unlock();
+  }
+
+  // --- Reader side ----------------------------------------------------------
+
+  void LockShared() const { mu_.lock_shared(); }
+  void UnlockShared() const { mu_.unlock_shared(); }
+
+  // --- Epoch / seqlock protocol --------------------------------------------
+
+  /// Current epoch; odd while an exclusive writer is inside.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+  bool WriteActive() const { return (Epoch() & 1) != 0; }
+
+  /// Seqlock read entry over *atomic* payloads: returns the first even epoch
+  /// observed (spinning past any in-flight writer). The caller copies the
+  /// payload, then confirms with ReadValidate; on failure, retry.
+  uint64_t ReadBegin() const {
+    for (;;) {
+      const uint64_t e = Epoch();
+      if ((e & 1) == 0) return e;
+    }
+  }
+  /// True when no writer entered since ReadBegin returned `epoch` — the copy
+  /// taken in between is coherent with respect to writers. The acquire fence
+  /// pairs with the writer-entry release fence: if any payload load observed
+  /// a mid-write value, the epoch load below is guaranteed to see the odd
+  /// epoch and fail validation.
+  bool ReadValidate(uint64_t epoch) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return epoch_.load(std::memory_order_relaxed) == epoch;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+/// RAII shared (read) hold on a chunk latch.
+class SharedChunkGuard {
+ public:
+  explicit SharedChunkGuard(const ChunkLatch& latch) : latch_(latch) {
+    latch_.LockShared();
+  }
+  ~SharedChunkGuard() { latch_.UnlockShared(); }
+  SharedChunkGuard(const SharedChunkGuard&) = delete;
+  SharedChunkGuard& operator=(const SharedChunkGuard&) = delete;
+
+ private:
+  const ChunkLatch& latch_;
+};
+
+/// RAII exclusive (write) hold on a chunk latch; advances the epoch.
+class ExclusiveChunkGuard {
+ public:
+  explicit ExclusiveChunkGuard(ChunkLatch& latch) : latch_(latch) {
+    latch_.LockExclusive();
+  }
+  ~ExclusiveChunkGuard() { latch_.UnlockExclusive(); }
+  ExclusiveChunkGuard(const ExclusiveChunkGuard&) = delete;
+  ExclusiveChunkGuard& operator=(const ExclusiveChunkGuard&) = delete;
+
+ private:
+  ChunkLatch& latch_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_STORAGE_CHUNK_LATCH_H_

@@ -85,6 +85,7 @@ PartitionedTable PartitionedTable::Build(std::vector<Value> sorted_keys,
     }
     table.chunk_uppers_.push_back(chunk.domain_upper());
     table.chunks_.emplace_back(std::move(chunk), std::move(payload));
+    table.latches_.push_back(std::make_unique<ChunkLatch>());
     offset += n;
   }
   return table;
@@ -99,6 +100,7 @@ size_t PartitionedTable::RouteChunk(Value key) const {
 size_t PartitionedTable::PointLookup(Value key,
                                      std::vector<Payload>* payload_out) const {
   const size_t c = RouteChunk(key);
+  SharedChunkGuard guard(*latches_[c]);
   const auto& chunk = chunks_[c];
   if (payload_out == nullptr || payload_cols_ == 0) {
     size_t n = chunk.keys.CountEqual(key);
@@ -129,6 +131,7 @@ uint64_t PartitionedTable::CountRange(Value lo, Value hi) const {
 
 uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const {
   if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  SharedChunkGuard guard(*latches_[c]);
   return chunks_[c].keys.CountRange(lo, hi);
 }
 
@@ -146,6 +149,7 @@ int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
 int64_t PartitionedTable::SumPayloadRangeInChunk(
     size_t c, Value lo, Value hi, const std::vector<size_t>& cols) const {
   if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  SharedChunkGuard guard(*latches_[c]);
   const auto& chunk = chunks_[c].keys;
   if (chunk.size() == 0) return 0;
   int64_t sum = 0;
@@ -186,6 +190,7 @@ int64_t PartitionedTable::TpchQ6InChunk(size_t c, Value lo, Value hi,
                                         Payload disc_lo, Payload disc_hi,
                                         Payload qty_max) const {
   if (payload_cols_ < 3 || lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  SharedChunkGuard guard(*latches_[c]);
   const auto& chunk = chunks_[c].keys;
   if (chunk.size() == 0) return 0;
   int64_t sum = 0;
@@ -225,7 +230,9 @@ void PartitionedTable::LookupBatch(const Value* keys, size_t n,
   // O(num_chunks) bucketing and probe directly.
   if (n <= 2) {
     for (size_t i = 0; i < n; ++i) {
-      out_counts[i] = chunks_[RouteChunk(keys[i])].keys.CountEqual(keys[i]);
+      const size_t c = RouteChunk(keys[i]);
+      SharedChunkGuard guard(*latches_[c]);
+      out_counts[i] = chunks_[c].keys.CountEqual(keys[i]);
     }
     return;
   }
@@ -241,6 +248,7 @@ void PartitionedTable::LookupBatch(const Value* keys, size_t n,
     if (!by_chunk[c].empty()) touched.push_back(c);
   }
   auto probe_chunk = [&](size_t c) {
+    SharedChunkGuard guard(*latches_[c]);
     for (const uint32_t idx : by_chunk[c]) {
       out_counts[idx] = chunks_[c].keys.CountEqual(keys[idx]);
     }
@@ -258,6 +266,7 @@ int64_t PartitionedTable::SumKeysRange(Value lo, Value hi) const {
     const bool is_last = (c + 1 == chunks_.size());
     if (!is_last && chunk_uppers_[c] < lo) continue;
     if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
+    SharedChunkGuard guard(*latches_[c]);
     sum += chunks_[c].keys.SumRange(lo, hi);
   }
   return sum;
@@ -294,6 +303,7 @@ void PartitionedTable::ApplyMoveLog(TableChunk& chunk, const MoveLog& log,
 void PartitionedTable::Insert(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == payload_cols_);
   const size_t c = RouteChunk(key);
+  ExclusiveChunkGuard guard(*latches_[c]);
   MoveLog log;
   chunks_[c].keys.Insert(key, &log);
   ApplyMoveLog(chunks_[c], log, &payload, nullptr);
@@ -302,11 +312,12 @@ void PartitionedTable::Insert(Value key, const std::vector<Payload>& payload) {
 
 size_t PartitionedTable::Delete(Value key) {
   const size_t c = RouteChunk(key);
+  ExclusiveChunkGuard guard(*latches_[c]);
   MoveLog log;
   const size_t n = chunks_[c].keys.DeleteOne(key, &log);
   if (n > 0) {
     ApplyMoveLog(chunks_[c], log, nullptr, nullptr);
-    --rows_;
+    rows_.Sub(1);
   }
   return n;
 }
@@ -315,6 +326,7 @@ bool PartitionedTable::UpdateKey(Value old_key, Value new_key) {
   const size_t c_old = RouteChunk(old_key);
   const size_t c_new = RouteChunk(new_key);
   if (c_old == c_new) {
+    ExclusiveChunkGuard guard(*latches_[c_old]);
     MoveLog log;
     std::vector<Payload> stash;
     if (!chunks_[c_old].keys.Update(old_key, new_key, &log)) return false;
@@ -322,7 +334,13 @@ bool PartitionedTable::UpdateKey(Value old_key, Value new_key) {
     return true;
   }
   // Cross-chunk update: delete from the source chunk, reinsert in the
-  // destination chunk, carrying the payload across.
+  // destination chunk, carrying the payload across. Both chunk latches are
+  // held for the whole move so no reader sees the row absent from both;
+  // ascending-index acquisition keeps concurrent updaters deadlock-free.
+  const size_t first_latch = c_old < c_new ? c_old : c_new;
+  const size_t second_latch = c_old < c_new ? c_new : c_old;
+  ExclusiveChunkGuard first_guard(*latches_[first_latch]);
+  ExclusiveChunkGuard second_guard(*latches_[second_latch]);
   std::vector<uint32_t> slots;
   chunks_[c_old].keys.CollectSlots(old_key, &slots);
   if (slots.empty()) return false;
@@ -357,6 +375,9 @@ size_t PartitionedTable::ApplyWriteRun(const std::vector<BatchWrite>& run,
   std::vector<size_t> inserted(chunks_.size(), 0);
   std::vector<size_t> removed(chunks_.size(), 0);
   auto apply_chunk = [&](size_t c) {
+    // One exclusive hold per chunk group amortizes the latch over the run;
+    // a concurrent ApplyWriteRun touching other chunks proceeds in parallel.
+    ExclusiveChunkGuard guard(*latches_[c]);
     MoveLog log;
     for (const uint32_t idx : by_chunk[c]) {
       const BatchWrite& w = run[idx];
@@ -380,32 +401,51 @@ size_t PartitionedTable::ApplyWriteRun(const std::vector<BatchWrite>& run,
 
   size_t deleted = 0;
   for (const size_t c : touched) {
-    rows_ += inserted[c];
-    rows_ -= removed[c];
+    rows_.Add(inserted[c]);
+    rows_.Sub(removed[c]);
     deleted += removed[c];
   }
   return deleted;
 }
 
+void PartitionedTable::BatchWriteRows(const Row* rows, size_t n,
+                                      ThreadPool* pool) {
+  std::vector<BatchWrite> run;
+  run.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CASPER_CHECK_MSG(rows[i].payload.size() == payload_cols_,
+                     "row payload width != table payload columns");
+    BatchWrite w;
+    w.key = rows[i].key;
+    w.is_insert = true;
+    w.payload = rows[i].payload;
+    run.push_back(std::move(w));
+  }
+  ApplyWriteRun(run, pool);
+}
+
 size_t PartitionedTable::MemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& chunk : chunks_) {
-    bytes += chunk.keys.capacity() * sizeof(Value);
-    for (const auto& col : chunk.payload) bytes += col.size() * sizeof(Payload);
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    SharedChunkGuard guard(*latches_[c]);
+    bytes += chunks_[c].keys.capacity() * sizeof(Value);
+    for (const auto& col : chunks_[c].payload) bytes += col.size() * sizeof(Payload);
   }
   return bytes;
 }
 
 void PartitionedTable::ValidateInvariants() const {
   size_t live = 0;
-  for (const auto& chunk : chunks_) {
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    SharedChunkGuard guard(*latches_[c]);
+    const auto& chunk = chunks_[c];
     chunk.keys.ValidateInvariants();
     live += chunk.keys.size();
     for (const auto& col : chunk.payload) {
       CASPER_CHECK(col.size() == chunk.keys.capacity());
     }
   }
-  CASPER_CHECK(live == rows_);
+  CASPER_CHECK(live == num_rows());
 }
 
 }  // namespace casper

@@ -2,8 +2,10 @@
 #define CASPER_STORAGE_TABLE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "storage/chunk_latch.h"
 #include "storage/column_chunk.h"
 #include "storage/types.h"
 
@@ -78,9 +80,10 @@ class PartitionedTable {
   // Each method is the chunk-c slice of the corresponding whole-table query:
   // summing over all chunks (in any order) reproduces the serial answer. A
   // chunk outside the key range contributes 0 after an O(1) bounds check.
-  // Distinct chunks touch disjoint logical state, and the per-chunk access
-  // counters are relaxed atomics, so shards — and independent whole queries —
-  // may run concurrently. Writes remain single-writer per chunk.
+  // Every per-chunk read holds that chunk's latch shared and every write
+  // holds it exclusive (see chunk_latch.h), so reads may overlap ingest and
+  // chunk-disjoint write runs commit in parallel; the per-chunk access
+  // counters are relaxed atomics on top of that.
 
   /// COUNT(*) WHERE key in [lo, hi), restricted to chunk c.
   uint64_t CountRangeInChunk(size_t c, Value lo, Value hi) const;
@@ -112,7 +115,9 @@ class PartitionedTable {
   template <typename Fn>
   void ForEachRowInRange(Value lo, Value hi, Fn&& fn) const;
 
-  /// Payload accessor for rows surfaced by ForEachRowInRange.
+  /// Payload accessor for rows surfaced by ForEachRowInRange. Unlatched:
+  /// only valid while the surfacing callback (which holds the chunk latch)
+  /// is on the stack, or while the table is otherwise write-quiescent.
   Payload payload(size_t chunk, size_t col, uint32_t slot) const {
     return chunks_[chunk].payload[col][slot];
   }
@@ -141,15 +146,54 @@ class PartitionedTable {
   /// because inserts/deletes on different chunks touch disjoint state and
   /// same-key ops always share a chunk, keeping their relative order. With a
   /// pool, chunk groups run concurrently (morsel over the touched chunks).
+  /// Each chunk group commits under that chunk's exclusive latch, so two
+  /// ApplyWriteRun calls with chunk-disjoint runs may execute from different
+  /// threads at the same time (multi-writer ingest); overlapping runs
+  /// serialize per chunk without deadlock (one latch held at a time).
   /// Returns the number of rows actually deleted.
   size_t ApplyWriteRun(const std::vector<BatchWrite>& run,
                        ThreadPool* pool = nullptr);
 
+  /// Payload-carrying batch ingest: inserts `n` caller-supplied rows through
+  /// the same route-once, chunk-grouped, latch-protected path as
+  /// ApplyWriteRun. Each row's payload must have one entry per payload
+  /// column. This is the production write surface; the Operation-stream path
+  /// derives payloads from keys instead.
+  void BatchWriteRows(const Row* rows, size_t n, ThreadPool* pool = nullptr);
+  void BatchWriteRows(const std::vector<Row>& rows, ThreadPool* pool = nullptr) {
+    BatchWriteRows(rows.data(), rows.size(), pool);
+  }
+
+  // --- Concurrency control ---------------------------------------------------
+
+  /// Chunk index `key` routes to (immutable routing bounds, so this is safe
+  /// to call concurrently with any reads or writes).
+  size_t ChunkFor(Value key) const { return RouteChunk(key); }
+
+  /// The epoch/latch protecting chunk c. All table read/write paths route
+  /// through these internally; external callers only need them for epoch
+  /// sniffing (ChunkLatch::WriteActive) or snapshot validation.
+  const ChunkLatch& chunk_latch(size_t c) const { return *latches_[c]; }
+  ChunkLatch& chunk_latch(size_t c) { return *latches_[c]; }
+
+  /// Chunk-c ChunkStats copy that is coherent with respect to writers: the
+  /// seqlock loop retries until no exclusive writer interleaved the reads.
+  ChunkStatsSnapshot CoherentStatsSnapshot(size_t c) const {
+    const ChunkLatch& latch = *latches_[c];
+    for (;;) {
+      const uint64_t e = latch.ReadBegin();
+      ChunkStatsSnapshot s = chunks_[c].keys.StatsSnapshot();
+      if (latch.ReadValidate(e)) return s;
+    }
+  }
+
   // --- Introspection -----------------------------------------------------------
 
-  size_t num_rows() const { return rows_; }
+  size_t num_rows() const { return static_cast<size_t>(rows_.load()); }
   size_t num_chunks() const { return chunks_.size(); }
   size_t num_payload_columns() const { return payload_cols_; }
+  /// Raw chunk access for tests/capture; bypasses the latch — callers must
+  /// hold it (or be single-threaded) when the table is shared.
   const PartitionedColumnChunk& key_chunk(size_t i) const { return chunks_[i].keys; }
   PartitionedColumnChunk& mutable_key_chunk(size_t i) { return chunks_[i].keys; }
 
@@ -175,9 +219,14 @@ class PartitionedTable {
 
   Options opts_;
   size_t payload_cols_ = 0;
-  size_t rows_ = 0;
+  /// Whole-table row count: relaxed atomic because chunk-disjoint write runs
+  /// commit from multiple threads at once (each under its own chunk latch).
+  RelaxedCounter rows_;
   std::vector<TableChunk> chunks_;
   std::vector<Value> chunk_uppers_;
+  /// Per-chunk epoch/latches (unique_ptr keeps TableChunk vectors movable;
+  /// the set is sized once at Build and never changes).
+  std::vector<std::unique_ptr<ChunkLatch>> latches_;
 };
 
 template <typename Fn>
@@ -189,6 +238,8 @@ void PartitionedTable::ForEachRowInRange(Value lo, Value hi, Fn&& fn) const {
     const bool is_last = (c + 1 == chunks_.size());
     if (!is_last && chunk_uppers_[c] < lo) continue;     // entirely below
     if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;  // entirely above
+    // The shared latch spans the callback too: fn may read payload slots.
+    SharedChunkGuard guard(*latches_[c]);
     const auto& chunk = chunks_[c].keys;
     chunk.ForEachSlotInRange(
         lo, hi, [&](uint32_t slot) { fn(c, slot, chunk.raw_data()[slot]); });

@@ -17,6 +17,16 @@ using Payload = uint32_t;
 constexpr Value kMinValue = std::numeric_limits<Value>::min();
 constexpr Value kMaxValue = std::numeric_limits<Value>::max();
 
+/// One caller-supplied row for the payload-carrying batch ingest API
+/// (LayoutEngine::InsertRows / PartitionedTable::BatchWriteRows): a key plus
+/// one payload value per payload column. Unlike the Operation-stream write
+/// path, whose inserts take key-derived payloads, this is the production
+/// surface where the application owns the row contents.
+struct Row {
+  Value key = 0;
+  std::vector<Payload> payload;  ///< one entry per payload column
+};
+
 /// Physical slot movements performed by a chunk operation. Column groups
 /// replay the log on payload columns so rows stay positionally aligned
 /// (the Frequency Model and chunk logic are oblivious to payload width,
@@ -71,6 +81,7 @@ class RelaxedCounter {
     return *this;
   }
   void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(uint64_t delta) { v_.fetch_sub(delta, std::memory_order_relaxed); }
 
   operator uint64_t() const { return load(); }
   uint64_t load() const { return v_.load(std::memory_order_relaxed); }

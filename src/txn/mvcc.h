@@ -24,6 +24,38 @@ class TimestampOracle {
 };
 
 class Transaction;
+class LayoutEngine;
+
+/// Chunk-granular snapshot bridging the MVCC timestamp oracle with the
+/// storage layer's epoch/latch protection (storage/chunk_latch.h): captures
+/// one oracle timestamp plus the epoch of every latch domain of a layout
+/// engine. Validate() succeeds iff no writer committed into *any* captured
+/// domain since — the chunk-level analogue of Transaction's snapshot
+/// visibility check, used by the mixed-workload runner and tests to prove
+/// read-only phases really were write-free and to detect which chunks an
+/// ingest touched.
+class ChunkSnapshot {
+ public:
+  /// Samples every domain epoch (spinning past in-flight writers so each
+  /// captured epoch is even == stable). `oracle` may be nullptr; then the
+  /// snapshot carries timestamp 0.
+  static ChunkSnapshot Capture(const LayoutEngine& engine,
+                               TimestampOracle* oracle = nullptr);
+
+  /// True iff every domain epoch is unchanged since Capture().
+  bool Validate(const LayoutEngine& engine) const;
+
+  /// Indices of domains whose epoch advanced since Capture() — the chunks a
+  /// concurrent ingest wrote.
+  std::vector<size_t> ChangedDomains(const LayoutEngine& engine) const;
+
+  uint64_t timestamp() const { return ts_; }
+  size_t num_domains() const { return epochs_.size(); }
+
+ private:
+  uint64_t ts_ = 0;
+  std::vector<uint64_t> epochs_;
+};
 
 /// Snapshot-isolated multi-version row store — the transactional layer of
 /// paper §6.1: "each transaction is allowed to work on the data by assigning
