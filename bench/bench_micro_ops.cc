@@ -2,17 +2,193 @@
 // cost model prices: partition scans (SR), ripple steps (RR+RW), partition
 // index probes, and the chunk's five operations. These are the numbers
 // CalibrateEngineCosts feeds the optimizer (paper §4.5).
+//
+// This binary also carries the KERNEL-THROUGHPUT AXIS: a hand-timed
+// comparison of the seed element-at-a-time scan loops against the
+// vectorized scan kernels (exec/scan_kernels.h) and the scan-on-compressed
+// path, written as $CASPER_BENCH_JSON metrics so the CI bench-smoke job
+// accumulates per-PR kernel numbers (see RunKernelAxis below and the
+// Kernel* google-benchmarks).
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+#include "compression/frame_of_reference.h"
+#include "exec/scan_kernels.h"
 #include "storage/column_chunk.h"
 #include "storage/partition_index.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace casper {
 namespace {
+
+// --- Kernel-throughput axis --------------------------------------------------
+// Seed-style loops, replicated verbatim (branch structure included) and
+// noinline so the comparison is against what the tree actually shipped
+// before the kernel layer, not against whatever the optimizer makes of an
+// inlined lambda.
+
+__attribute__((noinline)) uint64_t SeedCountRange(const Value* d, size_t n,
+                                                  Value lo, Value hi) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += (d[i] >= lo && d[i] < hi);
+  return count;
+}
+
+__attribute__((noinline)) int64_t SeedSumPayloadRange(const Value* keys,
+                                                      const Payload* pay,
+                                                      size_t n, Value lo,
+                                                      Value hi) {
+  int64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (keys[i] >= lo && keys[i] < hi) sum += pay[i];
+  }
+  return sum;
+}
+
+struct KernelFixture {
+  std::vector<Value> keys;
+  std::vector<Payload> pay;
+  Value lo, hi;  // ~50% selectivity: worst case for the branchy seed loop
+};
+
+KernelFixture MakeKernelFixture(size_t n) {
+  KernelFixture f;
+  Rng rng(71);
+  f.keys.reserve(n);
+  f.pay.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    f.keys.push_back(static_cast<Value>(rng.Below(1u << 20)));
+    f.pay.push_back(static_cast<Payload>(rng.Below(10000)));
+  }
+  f.lo = 1 << 18;
+  f.hi = 3 << 18;
+  return f;
+}
+
+/// Million rows/second for fn() over `rows`-row passes, best of `reps`.
+template <typename Fn>
+double MeasureMrps(size_t rows, size_t reps, const Fn& fn) {
+  double best_ns = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    benchmark::DoNotOptimize(fn());
+    const double ns = static_cast<double>(sw.ElapsedNanos());
+    if (ns < best_ns) best_ns = ns;
+  }
+  return static_cast<double>(rows) * 1e3 / best_ns;  // rows/ns * 1e3 = Mrows/s
+}
+
+/// The kernel axis proper: seed loops vs dispatched kernels vs compressed,
+/// printed and (when CASPER_BENCH_JSON is set) written as flat metrics.
+void RunKernelAxis() {
+  const size_t rows = bench::SmokeMode() ? (1u << 15) : (1u << 18);
+  const size_t reps = bench::SmokeMode() ? 5 : 25;
+  const KernelFixture f = MakeKernelFixture(rows);
+  const FrameOfReferenceColumn compressed(f.keys, 4096);
+
+  const double count_seed = MeasureMrps(rows, reps, [&] {
+    return SeedCountRange(f.keys.data(), rows, f.lo, f.hi);
+  });
+  const double count_simd = MeasureMrps(rows, reps, [&] {
+    return kernels::CountInRange(f.keys.data(), rows, f.lo, f.hi);
+  });
+  const double count_compressed = MeasureMrps(rows, reps, [&] {
+    return compressed.CountRange(f.lo, f.hi);
+  });
+  const double sum_seed = MeasureMrps(rows, reps, [&] {
+    return SeedSumPayloadRange(f.keys.data(), f.pay.data(), rows, f.lo, f.hi);
+  });
+  const double sum_simd = MeasureMrps(rows, reps, [&] {
+    return kernels::SumPayloadInRange(f.keys.data(), f.pay.data(), rows, f.lo,
+                                      f.hi);
+  });
+  std::vector<uint32_t> slots(rows);
+  const double filter_simd = MeasureMrps(rows, reps, [&] {
+    return kernels::FilterSlots(f.keys.data(), rows, f.lo, f.hi, 0,
+                                slots.data());
+  });
+
+  // Sanity: all three representations agree before we publish numbers.
+  const uint64_t want = SeedCountRange(f.keys.data(), rows, f.lo, f.hi);
+  if (kernels::CountInRange(f.keys.data(), rows, f.lo, f.hi) != want ||
+      compressed.CountRange(f.lo, f.hi) != want) {
+    std::fprintf(stderr, "kernel axis: representations disagree!\n");
+    std::abort();
+  }
+
+  bench::PrintHeader("kernel axis", "scan-kernel throughput (Mrows/s)");
+  std::printf("  avx2: %s, rows/pass: %zu\n",
+              kernels::HaveAvx2() ? "yes" : "no (scalar dispatch)", rows);
+  bench::PrintRow("count_range seed loop", count_seed, "Mrows/s");
+  bench::PrintRow("count_range kernel", count_simd, "Mrows/s");
+  bench::PrintRow("count_range compressed", count_compressed, "Mrows/s");
+  bench::PrintRow("sum_payload seed loop", sum_seed, "Mrows/s");
+  bench::PrintRow("sum_payload kernel", sum_simd, "Mrows/s");
+  bench::PrintRow("filter_slots kernel", filter_simd, "Mrows/s");
+  bench::PrintRow("count speedup", count_simd / count_seed, "x");
+  bench::PrintRow("sum_payload speedup", sum_simd / sum_seed, "x");
+
+  bench::JsonMetrics metrics;
+  metrics.Add("kernel_avx2_active", kernels::HaveAvx2() ? 1.0 : 0.0);
+  metrics.Add("kernel_count_range_seed_mrps", count_seed);
+  metrics.Add("kernel_count_range_simd_mrps", count_simd);
+  metrics.Add("kernel_count_range_compressed_mrps", count_compressed);
+  metrics.Add("kernel_count_range_speedup", count_simd / count_seed);
+  metrics.Add("kernel_sum_payload_seed_mrps", sum_seed);
+  metrics.Add("kernel_sum_payload_simd_mrps", sum_simd);
+  metrics.Add("kernel_sum_payload_speedup", sum_simd / sum_seed);
+  metrics.Add("kernel_filter_slots_mrps", filter_simd);
+  metrics.WriteIfRequested();
+}
+
+// Google-benchmark registrations of the same kernels, for --benchmark_filter
+// deep dives at arbitrary sizes.
+void BM_KernelCountRangeSeed(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const KernelFixture f = MakeKernelFixture(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeedCountRange(f.keys.data(), n, f.lo, f.hi));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelCountRangeSeed)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_KernelCountRangeSimd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const KernelFixture f = MakeKernelFixture(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::CountInRange(f.keys.data(), n, f.lo, f.hi));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelCountRangeSimd)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_KernelSumPayloadSeed(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const KernelFixture f = MakeKernelFixture(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SeedSumPayloadRange(f.keys.data(), f.pay.data(), n, f.lo, f.hi));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelSumPayloadSeed)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_KernelSumPayloadSimd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const KernelFixture f = MakeKernelFixture(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::SumPayloadInRange(f.keys.data(), f.pay.data(), n, f.lo, f.hi));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelSumPayloadSimd)->Arg(1 << 12)->Arg(1 << 18);
 
 PartitionedColumnChunk MakeChunk(size_t rows, size_t parts, size_t ghosts_each,
                                  bool dense) {
@@ -125,4 +301,13 @@ BENCHMARK(BM_PartitionIndexBinarySearch)->Arg(64)->Arg(256)->Arg(4096);
 }  // namespace
 }  // namespace casper
 
-BENCHMARK_MAIN();
+// Custom main: the kernel axis runs first (prints + JSON for the CI perf
+// trajectory), then any google-benchmarks selected on the command line.
+int main(int argc, char** argv) {
+  casper::RunKernelAxis();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

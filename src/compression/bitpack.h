@@ -55,6 +55,11 @@ class BitPackedArray {
   unsigned bit_width() const { return width_; }
   size_t bytes() const { return words_.size() * sizeof(uint64_t); }
 
+  /// Raw word storage for the block-decode scan kernels
+  /// (kernels::CountPackedInRange / SumPacked): scans evaluate predicates on
+  /// the packed words directly instead of Get()-ing one element at a time.
+  const uint64_t* words() const { return words_.data(); }
+
  private:
   size_t count_ = 0;
   unsigned width_ = 0;

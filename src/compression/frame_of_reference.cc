@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/scan_kernels.h"
+
 namespace casper {
 
 FrameOfReferenceColumn::FrameOfReferenceColumn(const std::vector<Value>& values,
@@ -34,10 +36,14 @@ void FrameOfReferenceColumn::BuildFrames(const std::vector<Value>& values,
                                     values.begin() + static_cast<ptrdiff_t>(begin + sz));
     f.max = *std::max_element(values.begin() + static_cast<ptrdiff_t>(begin),
                               values.begin() + static_cast<ptrdiff_t>(begin + sz));
-    const unsigned width = BitsFor(static_cast<uint64_t>(f.max - f.reference));
+    // Offset arithmetic lives in uint64 (wrap-defined): values may span the
+    // whole int64 domain, where max - reference overflows signed math.
+    const unsigned width = BitsFor(static_cast<uint64_t>(f.max) -
+                                   static_cast<uint64_t>(f.reference));
     f.offsets = BitPackedArray(sz, width);
     for (size_t i = 0; i < sz; ++i) {
-      f.offsets.Set(i, static_cast<uint64_t>(values[begin + i] - f.reference));
+      f.offsets.Set(i, static_cast<uint64_t>(values[begin + i]) -
+                           static_cast<uint64_t>(f.reference));
     }
     frames_.push_back(std::move(f));
     begin += sz;
@@ -60,35 +66,74 @@ Value FrameOfReferenceColumn::Get(size_t i) const {
     }
   }
   const Frame& f = frames_[lo];
-  return f.reference + static_cast<Value>(f.offsets.Get(i - f.begin));
+  return static_cast<Value>(static_cast<uint64_t>(f.reference) +
+                            f.offsets.Get(i - f.begin));
 }
 
-uint64_t FrameOfReferenceColumn::CountRange(Value lo, Value hi) const {
-  if (lo >= hi) return 0;
+uint64_t FrameOfReferenceColumn::CountRange(Value lo, Value hi,
+                                            ScanStats* stats) const {
+  return CountRangeInRows(0, count_, lo, hi, stats);
+}
+
+uint64_t FrameOfReferenceColumn::CountRangeInRows(size_t row_begin,
+                                                  size_t row_end, Value lo,
+                                                  Value hi,
+                                                  ScanStats* stats) const {
+  if (lo >= hi || row_begin >= row_end || row_begin >= count_) return 0;
+  row_end = std::min(row_end, count_);
+  // First frame overlapping the window (frames are ordered by begin).
+  size_t f0 = 0, f1 = frames_.size();
+  while (f0 + 1 < f1) {
+    const size_t mid = (f0 + f1) / 2;
+    if (frames_[mid].begin <= row_begin) {
+      f0 = mid;
+    } else {
+      f1 = mid;
+    }
+  }
   uint64_t count = 0;
-  for (const Frame& f : frames_) {
-    if (f.reference >= hi || f.max < lo) continue;  // zonemap skip
-    if (f.reference >= lo && f.max < hi) {
-      count += f.offsets.size();  // frame fully qualifies
+  for (size_t fi = f0; fi < frames_.size() && frames_[fi].begin < row_end; ++fi) {
+    const Frame& f = frames_[fi];
+    const size_t b = std::max(row_begin, f.begin) - f.begin;
+    const size_t e = std::min(row_end, f.begin + f.offsets.size()) - f.begin;
+    if (b >= e) continue;
+    if (f.reference >= hi || f.max < lo) {  // zone-map prune
+      if (stats != nullptr) ++stats->frames_pruned;
       continue;
     }
-    for (size_t i = 0; i < f.offsets.size(); ++i) {
-      const Value v = f.reference + static_cast<Value>(f.offsets.Get(i));
-      count += (v >= lo && v < hi);
+    if (f.reference >= lo && f.max < hi) {  // fully qualifies: blind consume
+      if (stats != nullptr) ++stats->frames_blind;
+      count += e - b;
+      continue;
+    }
+    // Translate the predicate to unsigned offset space (offsets are deltas
+    // from the frame minimum, so order is preserved) and evaluate it on the
+    // packed words block-by-block without materializing the frame.
+    const uint64_t olo =
+        lo <= f.reference
+            ? 0
+            : static_cast<uint64_t>(lo) - static_cast<uint64_t>(f.reference);
+    const uint64_t ohi =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(f.reference);
+    count += kernels::CountPackedInRange(f.offsets.words(), b, e,
+                                         f.offsets.bit_width(), olo, ohi);
+    if (stats != nullptr) {
+      ++stats->frames_scanned;
+      stats->elements_decoded += e - b;
     }
   }
   return count;
 }
 
 int64_t FrameOfReferenceColumn::SumAll() const {
-  int64_t sum = 0;
+  uint64_t sum = 0;
   for (const Frame& f : frames_) {
-    sum += f.reference * static_cast<int64_t>(f.offsets.size());
-    for (size_t i = 0; i < f.offsets.size(); ++i) {
-      sum += static_cast<int64_t>(f.offsets.Get(i));
-    }
+    sum += static_cast<uint64_t>(f.reference) *
+           static_cast<uint64_t>(f.offsets.size());
+    sum += kernels::SumPacked(f.offsets.words(), 0, f.offsets.size(),
+                              f.offsets.bit_width());
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 std::vector<Value> FrameOfReferenceColumn::DecodeAll() const {
@@ -96,7 +141,8 @@ std::vector<Value> FrameOfReferenceColumn::DecodeAll() const {
   out.reserve(count_);
   for (const Frame& f : frames_) {
     for (size_t i = 0; i < f.offsets.size(); ++i) {
-      out.push_back(f.reference + static_cast<Value>(f.offsets.Get(i)));
+      out.push_back(static_cast<Value>(static_cast<uint64_t>(f.reference) +
+                                       f.offsets.Get(i)));
     }
   }
   return out;

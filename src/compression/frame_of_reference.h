@@ -27,8 +27,26 @@ class FrameOfReferenceColumn {
   size_t size() const;
   Value Get(size_t i) const;
 
-  /// Count of values in [lo, hi); frames are skipped via their min/max.
-  uint64_t CountRange(Value lo, Value hi) const;
+  /// Per-scan accounting of the compressed read path, mirroring the
+  /// uncompressed chunk counters: pruned = skipped entirely by the frame
+  /// zone map, blind = fully qualifying (consumed via the element count),
+  /// scanned/decoded = frames whose packed blocks were actually evaluated.
+  struct ScanStats {
+    uint64_t frames_pruned = 0;
+    uint64_t frames_blind = 0;
+    uint64_t frames_scanned = 0;
+    uint64_t elements_decoded = 0;
+  };
+
+  /// Count of values in [lo, hi); frames are skipped via their min/max and
+  /// surviving frames are evaluated on the packed words (scan-on-compressed,
+  /// kernels::CountPackedInRange — no materialization).
+  uint64_t CountRange(Value lo, Value hi, ScanStats* stats = nullptr) const;
+
+  /// CountRange restricted to the value positions [row_begin, row_end) — the
+  /// row-window slice used by sharded scans over a cached encoding.
+  uint64_t CountRangeInRows(size_t row_begin, size_t row_end, Value lo, Value hi,
+                            ScanStats* stats = nullptr) const;
 
   /// Sum of all values (decompression-free aggregate: sum of references +
   /// packed offsets).

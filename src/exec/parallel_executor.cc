@@ -5,8 +5,15 @@
 namespace casper {
 
 uint64_t ParallelExecutor::ScanAll(const LayoutEngine& engine) const {
-  // Same range convention as the serial facade: every key above kMinValue.
-  return CountRange(engine, kMinValue + 1, kMaxValue);
+  // Predicate-free per-shard scans: covers the entire key domain, including
+  // rows keyed at kMinValue / kMaxValue that no half-open [lo, hi) range can
+  // express (the old CountRange(kMinValue + 1, kMaxValue) dropped them).
+  const size_t shards = engine.NumShards();
+  const auto partials = exec::MorselMap<uint64_t>(
+      pool_, shards, [&](size_t s) { return engine.ScanShard(s); });
+  uint64_t total = 0;
+  for (const uint64_t p : partials) total += p;
+  return total;
 }
 
 uint64_t ParallelExecutor::CountRange(const LayoutEngine& engine, Value lo,

@@ -1,0 +1,159 @@
+#ifndef CASPER_EXEC_SCAN_KERNELS_H_
+#define CASPER_EXEC_SCAN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/types.h"
+
+namespace casper::kernels {
+
+/// Branch-free vectorized predicate kernels over contiguous column buffers —
+/// the shared scan layer every layout read path routes through (paper §4,
+/// Fig. 3: partition scans are priced at memory bandwidth; these kernels are
+/// what makes that assumption true in the engine).
+///
+/// Each kernel has two implementations:
+///  - a portable scalar one (namespace `scalar`), written as unrolled
+///    branch-free accumulation so compilers autovectorize it at any baseline
+///    ISA — it is also the reference the equivalence tests pin the SIMD
+///    paths against, bit for bit;
+///  - an AVX2 one (compiled into its own translation unit with `-mavx2`,
+///    gated by the CASPER_AVX2 CMake option), selected at runtime via CPU
+///    detection so a prebuilt binary never executes an AVX2 instruction on a
+///    CPU that lacks it (no SIGILL on older x86, no effect elsewhere).
+///
+/// The dispatched entry points below pick the fastest available
+/// implementation once at process start. All range predicates are half-open:
+/// lo <= v < hi. Results are bit-identical across implementations (sums are
+/// accumulated in 64-bit two's-complement, associativity-safe).
+
+/// True when the AVX2 implementations are compiled in AND the running CPU
+/// supports them (introspection for tests, benches, and logging).
+bool HaveAvx2();
+
+// --- Dispatched kernels ------------------------------------------------------
+
+/// Count of d[i] with lo <= d[i] < hi.
+uint64_t CountInRange(const Value* d, size_t n, Value lo, Value hi);
+
+/// Count of d[i] == v (point predicate; no hi overflow at the domain edge).
+uint64_t CountEqual(const Value* d, size_t n, Value v);
+
+/// Sum of qualifying d[i] (wraparound-defined 64-bit accumulation).
+int64_t SumInRange(const Value* d, size_t n, Value lo, Value hi);
+
+/// Unconditional sum of d[i] (fully-qualifying partitions / sorted windows).
+int64_t SumValues(const Value* d, size_t n);
+
+/// Sum of payload[i] where lo <= keys[i] < hi (the Q3 inner loop: predicate
+/// on the key column, aggregate on an aligned payload column).
+int64_t SumPayloadInRange(const Value* keys, const Payload* payload, size_t n,
+                          Value lo, Value hi);
+
+/// Unconditional sum of payload[i].
+int64_t SumPayload(const Payload* payload, size_t n);
+
+/// Writes base+i for every qualifying d[i] to out (caller provides >= n
+/// slots); returns the number written, in ascending order. The selection
+/// primitive behind slot collection and late-materialized payload filters.
+size_t FilterSlots(const Value* d, size_t n, Value lo, Value hi, uint32_t base,
+                   uint32_t* out);
+
+/// FilterSlots with an equality predicate (point lookups / CollectSlots).
+size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
+                        uint32_t* out);
+
+/// Index of the first d[i] == v, or n if absent — the delete/update
+/// find-first probe (vector compare per block, early exit on the first hit).
+size_t FindFirstEqual(const Value* d, size_t n, Value v);
+
+/// Sum of n bytes (tombstone-bitmap popcount: delete bitmaps store 0/1).
+uint64_t SumBytes(const uint8_t* d, size_t n);
+
+/// Count of unsigned 64-bit x[i] with lo <= x[i] < hi — the offset-space
+/// predicate of the scan-on-compressed path (frame-of-reference offsets are
+/// unsigned deltas from the frame minimum).
+uint64_t CountU64InRange(const uint64_t* d, size_t n, uint64_t lo, uint64_t hi);
+
+// --- Scan-on-compressed kernels ---------------------------------------------
+// Evaluate predicates directly on fixed-width bit-packed words (the storage
+// of FrameOfReferenceColumn / BitPackedArray) without materializing the
+// column: blocks of up to 64 values are unpacked into a register-resident
+// buffer and fed to the vector predicate above.
+
+/// Count of packed elements in [elem_begin, elem_end) whose unpacked value o
+/// satisfies olo <= o < ohi. `words` is the packed array's word storage,
+/// `width` its bit width (0 => every element is 0).
+uint64_t CountPackedInRange(const uint64_t* words, size_t elem_begin,
+                            size_t elem_end, unsigned width, uint64_t olo,
+                            uint64_t ohi);
+
+/// Sum of packed elements in [elem_begin, elem_end) (offset-space; add
+/// reference * count for the frame total).
+uint64_t SumPacked(const uint64_t* words, size_t elem_begin, size_t elem_end,
+                   unsigned width);
+
+// --- Scalar reference implementations ---------------------------------------
+// Exposed so the equivalence suite and the micro-bench kernel axis can pin
+// SIMD == scalar == compressed on identical inputs.
+
+namespace scalar {
+uint64_t CountInRange(const Value* d, size_t n, Value lo, Value hi);
+uint64_t CountEqual(const Value* d, size_t n, Value v);
+int64_t SumInRange(const Value* d, size_t n, Value lo, Value hi);
+int64_t SumValues(const Value* d, size_t n);
+int64_t SumPayloadInRange(const Value* keys, const Payload* payload, size_t n,
+                          Value lo, Value hi);
+int64_t SumPayload(const Payload* payload, size_t n);
+size_t FilterSlots(const Value* d, size_t n, Value lo, Value hi, uint32_t base,
+                   uint32_t* out);
+size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
+                        uint32_t* out);
+size_t FindFirstEqual(const Value* d, size_t n, Value v);
+uint64_t SumBytes(const uint8_t* d, size_t n);
+uint64_t CountU64InRange(const uint64_t* d, size_t n, uint64_t lo, uint64_t hi);
+}  // namespace scalar
+
+// --- AVX2 implementations (present only when compiled in) -------------------
+// Callers must check HaveAvx2() first; the dispatched entry points do.
+
+#if defined(CASPER_AVX2)
+namespace avx2 {
+uint64_t CountInRange(const Value* d, size_t n, Value lo, Value hi);
+uint64_t CountEqual(const Value* d, size_t n, Value v);
+int64_t SumInRange(const Value* d, size_t n, Value lo, Value hi);
+int64_t SumValues(const Value* d, size_t n);
+int64_t SumPayloadInRange(const Value* keys, const Payload* payload, size_t n,
+                          Value lo, Value hi);
+int64_t SumPayload(const Payload* payload, size_t n);
+size_t FilterSlots(const Value* d, size_t n, Value lo, Value hi, uint32_t base,
+                   uint32_t* out);
+size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
+                        uint32_t* out);
+size_t FindFirstEqual(const Value* d, size_t n, Value v);
+uint64_t SumBytes(const uint8_t* d, size_t n);
+uint64_t CountU64InRange(const uint64_t* d, size_t n, uint64_t lo, uint64_t hi);
+}  // namespace avx2
+#endif  // CASPER_AVX2
+
+/// Visits qualifying slots of d[0..n) in blocks through the FilterSlots
+/// kernel: fn(uint32_t slot) for every i with lo <= d[i] < hi, slots offset
+/// by `base`, ascending. Used by the template read paths (ForEachSlotInRange
+/// and friends) so callback-style scans still run on the vector kernels.
+template <typename Fn>
+void ForEachQualifyingSlot(const Value* d, size_t n, Value lo, Value hi,
+                           uint32_t base, Fn&& fn) {
+  constexpr size_t kBlock = 256;
+  uint32_t slots[kBlock];
+  for (size_t off = 0; off < n; off += kBlock) {
+    const size_t m = n - off < kBlock ? n - off : kBlock;
+    const size_t k =
+        FilterSlots(d + off, m, lo, hi, base + static_cast<uint32_t>(off), slots);
+    for (size_t j = 0; j < k; ++j) fn(slots[j]);
+  }
+}
+
+}  // namespace casper::kernels
+
+#endif  // CASPER_EXEC_SCAN_KERNELS_H_

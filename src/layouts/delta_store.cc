@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "exec/scan_kernels.h"
 #include "util/status.h"
 
 namespace casper {
@@ -43,11 +44,14 @@ size_t DeltaStoreLayout::PointLookupLocked(Value key,
     }
   }
   size_t first_delta = delta_keys_.size();
-  for (size_t i = 0; i < delta_keys_.size(); ++i) {
-    if (delta_keys_[i] == key) {
-      if (first_delta == delta_keys_.size()) first_delta = i;
-      ++count;
-    }
+  const uint64_t delta_matches =
+      kernels::CountEqual(delta_keys_.data(), delta_keys_.size(), key);
+  count += delta_matches;
+  // Find-first only when the caller wants a payload row back: count-only
+  // lookups already have their answer from the vector count.
+  if (payload != nullptr && delta_matches > 0) {
+    first_delta =
+        kernels::FindFirstEqual(delta_keys_.data(), delta_keys_.size(), key);
   }
   if (payload != nullptr) {
     payload->clear();
@@ -69,9 +73,11 @@ uint64_t DeltaStoreLayout::CountRange(Value lo, Value hi) const {
       std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
                        main_keys_.end(), hi) -
       main_keys_.begin());
-  uint64_t count = 0;
-  for (size_t i = first; i < last; ++i) count += !deleted_[i];
-  for (const Value k : delta_keys_) count += (k >= lo && k < hi);
+  // Live main rows = window width minus the tombstone-bitmap byte sum; the
+  // delta pass is one vector count over the unsorted buffer.
+  uint64_t count = (last - first) -
+                   kernels::SumBytes(deleted_.data() + first, last - first);
+  count += kernels::CountInRange(delta_keys_.data(), delta_keys_.size(), lo, hi);
   return count;
 }
 
@@ -85,15 +91,30 @@ int64_t DeltaStoreLayout::SumPayloadRange(Value lo, Value hi,
       std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
                        main_keys_.end(), hi) -
       main_keys_.begin());
-  int64_t sum = 0;
-  for (size_t i = first; i < last; ++i) {
-    if (!deleted_[i]) {
-      for (const size_t c : cols) sum += main_payload_[c][i];
-    }
+  uint64_t sum = SumMainPayloadRows(first, last, cols);
+  for (const size_t c : cols) {
+    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
+        delta_keys_.data(), delta_payload_[c].data(), delta_keys_.size(), lo, hi));
   }
-  for (size_t i = 0; i < delta_keys_.size(); ++i) {
-    if (delta_keys_[i] >= lo && delta_keys_[i] < hi) {
-      for (const size_t c : cols) sum += delta_payload_[c][i];
+  return static_cast<int64_t>(sum);
+}
+
+uint64_t DeltaStoreLayout::SumMainPayloadRows(
+    size_t first, size_t last, const std::vector<size_t>& cols) const {
+  uint64_t sum = 0;
+  // Tombstone-free windows (the common case: deletes are rare and merges
+  // compact them away) take the unconditional vector sum.
+  const bool has_tombstones =
+      main_live_ < main_keys_.size() &&
+      kernels::SumBytes(deleted_.data() + first, last - first) > 0;
+  for (const size_t c : cols) {
+    const Payload* col = main_payload_[c].data();
+    if (!has_tombstones) {
+      sum += static_cast<uint64_t>(kernels::SumPayload(col + first, last - first));
+    } else {
+      for (size_t i = first; i < last; ++i) {
+        if (!deleted_[i]) sum += col[i];
+      }
     }
   }
   return sum;
@@ -119,15 +140,23 @@ int64_t DeltaStoreLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload di
       sum += static_cast<int64_t>(mp[i]) * md[i];
     }
   }
-  const auto& dq = delta_payload_[0];
-  const auto& dd = delta_payload_[1];
-  const auto& dp = delta_payload_[2];
-  for (size_t i = 0; i < delta_keys_.size(); ++i) {
-    if (delta_keys_[i] >= lo && delta_keys_[i] < hi && dd[i] >= disc_lo &&
-        dd[i] <= disc_hi && dq[i] < qty_max) {
-      sum += static_cast<int64_t>(dp[i]) * dd[i];
-    }
-  }
+  sum += TpchQ6DeltaLocked(lo, hi, disc_lo, disc_hi, qty_max);
+  return sum;
+}
+
+int64_t DeltaStoreLayout::TpchQ6DeltaLocked(Value lo, Value hi, Payload disc_lo,
+                                            Payload disc_hi,
+                                            Payload qty_max) const {
+  const Payload* dq = delta_payload_[0].data();
+  const Payload* dd = delta_payload_[1].data();
+  const Payload* dp = delta_payload_[2].data();
+  int64_t sum = 0;
+  kernels::ForEachQualifyingSlot(
+      delta_keys_.data(), delta_keys_.size(), lo, hi, 0, [&](uint32_t i) {
+        if (dd[i] >= disc_lo && dd[i] <= disc_hi && dq[i] < qty_max) {
+          sum += static_cast<int64_t>(dp[i]) * dd[i];
+        }
+      });
   return sum;
 }
 
@@ -136,38 +165,42 @@ std::pair<size_t, size_t> DeltaStoreLayout::MainShardWindow(size_t shard, Value 
   return SortedShardWindow(main_keys_, kMainShardRows, shard, lo, hi);
 }
 
+uint64_t DeltaStoreLayout::ScanShard(size_t shard) const {
+  SharedChunkGuard guard(engine_latch_);
+  if (shard < NumMainShards()) {
+    const size_t begin = shard * kMainShardRows;
+    if (begin >= main_keys_.size()) return 0;
+    const size_t end = std::min(main_keys_.size(), begin + kMainShardRows);
+    // Full-domain scan of the main window: width minus tombstones (no range
+    // predicate, so rows at both key-domain edges are covered).
+    return (end - begin) - kernels::SumBytes(deleted_.data() + begin, end - begin);
+  }
+  return delta_keys_.size();
+}
+
 uint64_t DeltaStoreLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
   SharedChunkGuard guard(engine_latch_);
   if (shard < NumMainShards()) {
     const auto [first, last] = MainShardWindow(shard, lo, hi);
-    uint64_t count = 0;
-    for (size_t i = first; i < last; ++i) count += !deleted_[i];
-    return count;
+    return (last - first) -
+           kernels::SumBytes(deleted_.data() + first, last - first);
   }
-  uint64_t count = 0;
-  for (const Value k : delta_keys_) count += (k >= lo && k < hi);
-  return count;
+  return kernels::CountInRange(delta_keys_.data(), delta_keys_.size(), lo, hi);
 }
 
 int64_t DeltaStoreLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                                const std::vector<size_t>& cols) const {
   SharedChunkGuard guard(engine_latch_);
-  int64_t sum = 0;
   if (shard < NumMainShards()) {
     const auto [first, last] = MainShardWindow(shard, lo, hi);
-    for (size_t i = first; i < last; ++i) {
-      if (!deleted_[i]) {
-        for (const size_t c : cols) sum += main_payload_[c][i];
-      }
-    }
-    return sum;
+    return static_cast<int64_t>(SumMainPayloadRows(first, last, cols));
   }
-  for (size_t i = 0; i < delta_keys_.size(); ++i) {
-    if (delta_keys_[i] >= lo && delta_keys_[i] < hi) {
-      for (const size_t c : cols) sum += delta_payload_[c][i];
-    }
+  uint64_t sum = 0;
+  for (const size_t c : cols) {
+    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
+        delta_keys_.data(), delta_payload_[c].data(), delta_keys_.size(), lo, hi));
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 int64_t DeltaStoreLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
@@ -188,16 +221,7 @@ int64_t DeltaStoreLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
     }
     return sum;
   }
-  const auto& dq = delta_payload_[0];
-  const auto& dd = delta_payload_[1];
-  const auto& dp = delta_payload_[2];
-  for (size_t i = 0; i < delta_keys_.size(); ++i) {
-    if (delta_keys_[i] >= lo && delta_keys_[i] < hi && dd[i] >= disc_lo &&
-        dd[i] <= disc_hi && dq[i] < qty_max) {
-      sum += static_cast<int64_t>(dp[i]) * dd[i];
-    }
-  }
-  return sum;
+  return TpchQ6DeltaLocked(lo, hi, disc_lo, disc_hi, qty_max);
 }
 
 void DeltaStoreLayout::Insert(Value key, const std::vector<Payload>& payload) {
@@ -233,16 +257,16 @@ size_t DeltaStoreLayout::Delete(Value key) {
 
 size_t DeltaStoreLayout::DeleteLocked(Value key) {
   // Prefer the delta (cheap swap-remove), then tombstone the main store.
-  for (size_t i = 0; i < delta_keys_.size(); ++i) {
-    if (delta_keys_[i] == key) {
-      delta_keys_[i] = delta_keys_.back();
-      delta_keys_.pop_back();
-      for (auto& col : delta_payload_) {
-        col[i] = col.back();
-        col.pop_back();
-      }
-      return 1;
+  const size_t i =
+      kernels::FindFirstEqual(delta_keys_.data(), delta_keys_.size(), key);
+  if (i < delta_keys_.size()) {
+    delta_keys_[i] = delta_keys_.back();
+    delta_keys_.pop_back();
+    for (auto& col : delta_payload_) {
+      col[i] = col.back();
+      col.pop_back();
     }
+    return 1;
   }
   const auto [lo, hi] = std::equal_range(main_keys_.begin(), main_keys_.end(), key);
   for (auto it = lo; it != hi; ++it) {

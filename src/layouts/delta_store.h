@@ -72,6 +72,7 @@ class DeltaStoreLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return NumMainShards() + 1;  // + the delta sub-shard (may be empty)
   }
+  uint64_t ScanShard(size_t shard) const override;
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
   int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                const std::vector<size_t>& cols) const override;
@@ -98,6 +99,16 @@ class DeltaStoreLayout final : public LayoutEngine {
   size_t DeleteLocked(Value key);
   void MergeLocked();
   void MaybeMerge();
+
+  /// Payload sum over main-store rows [first, last): unconditional vector
+  /// sum when the window has no tombstones, bitmap-aware scalar otherwise.
+  uint64_t SumMainPayloadRows(size_t first, size_t last,
+                              const std::vector<size_t>& cols) const;
+
+  /// Q6 over the delta buffer (latch held): key predicate through the
+  /// FilterSlots kernel, payload predicates on the survivors.
+  int64_t TpchQ6DeltaLocked(Value lo, Value hi, Payload disc_lo,
+                            Payload disc_hi, Payload qty_max) const;
 
   size_t NumMainShards() const {
     return main_keys_.empty()

@@ -181,9 +181,15 @@ class LayoutEngine {
     return shard == 0 ? TpchQ6(lo, hi, disc_lo, disc_hi, qty_max) : 0;
   }
 
-  /// Per-shard slice of a full scan (live rows visited in this shard).
-  uint64_t ScanShard(size_t shard) const {
-    return CountRangeShard(shard, kMinValue + 1, kMaxValue);
+  /// Per-shard slice of a full scan: live rows visited in this shard, with
+  /// NO range predicate — half-open [lo, hi) cannot express the full key
+  /// domain (hi would need kMaxValue + 1), so full scans get their own
+  /// virtual instead of the old CountRangeShard(kMinValue + 1, kMaxValue)
+  /// approximation, which silently dropped rows keyed at either domain edge.
+  /// The default is only correct for engines that keep the single-shard
+  /// default of NumShards(); every sharded layout overrides it.
+  virtual uint64_t ScanShard(size_t shard) const {
+    return shard == 0 ? num_rows() : 0;
   }
 
   // --- Batched read surface --------------------------------------------------

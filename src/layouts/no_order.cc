@@ -1,7 +1,9 @@
 #include "layouts/no_order.h"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "exec/scan_kernels.h"
 #include "util/status.h"
 
 namespace casper {
@@ -14,17 +16,11 @@ NoOrderLayout::NoOrderLayout(std::vector<Value> keys,
 
 size_t NoOrderLayout::PointLookup(Value key, std::vector<Payload>* payload) const {
   SharedChunkGuard guard(engine_latch_);
-  size_t count = 0;
-  size_t first = keys_.size();
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    if (keys_[i] == key) {
-      if (count == 0) first = i;
-      ++count;
-    }
-  }
+  const size_t count = kernels::CountEqual(keys_.data(), keys_.size(), key);
   if (payload != nullptr) {
     payload->clear();
     if (count > 0) {
+      const size_t first = kernels::FindFirstEqual(keys_.data(), keys_.size(), key);
       payload->reserve(payload_.size());
       for (const auto& col : payload_) payload->push_back(col[first]);
     }
@@ -32,81 +28,99 @@ size_t NoOrderLayout::PointLookup(Value key, std::vector<Payload>* payload) cons
   return count;
 }
 
+CompressedChunkCache::ColumnPtr NoOrderLayout::CompressedColumn(
+    bool count_scan) const {
+  // count_scan=false is the hit-only path for per-morsel shard scans: a
+  // 16-way fan-out must not cast 16 "read-mostly" votes for one query.
+  if (!count_scan) return compressed_.Get(0, engine_latch_.Epoch());
+  return compressed_.GetOrBuild(
+      0, engine_latch_.Epoch(), keys_.size(),
+      [&]() -> CompressedChunkCache::ColumnPtr {
+        return std::make_shared<FrameOfReferenceColumn>(keys_, size_t{4096});
+      });
+}
+
 uint64_t NoOrderLayout::CountRange(Value lo, Value hi) const {
   SharedChunkGuard guard(engine_latch_);
-  uint64_t count = 0;
-  for (const Value k : keys_) count += (k >= lo && k < hi);
-  return count;
+  if (const auto col = CompressedColumn()) return col->CountRange(lo, hi);
+  return kernels::CountInRange(keys_.data(), keys_.size(), lo, hi);
 }
 
 int64_t NoOrderLayout::SumPayloadRange(Value lo, Value hi,
                                        const std::vector<size_t>& cols) const {
   SharedChunkGuard guard(engine_latch_);
-  int64_t sum = 0;
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    if (keys_[i] >= lo && keys_[i] < hi) {
-      for (const size_t c : cols) sum += payload_[c][i];
-    }
+  uint64_t sum = 0;
+  for (const size_t c : cols) {
+    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
+        keys_.data(), payload_[c].data(), keys_.size(), lo, hi));
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 int64_t NoOrderLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                               Payload qty_max) const {
   SharedChunkGuard guard(engine_latch_);
-  if (payload_.size() < 3) return 0;
-  const auto& qty = payload_[0];
-  const auto& disc = payload_[1];
-  const auto& price = payload_[2];
-  int64_t sum = 0;
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    if (keys_[i] >= lo && keys_[i] < hi && disc[i] >= disc_lo && disc[i] <= disc_hi &&
-        qty[i] < qty_max) {
-      sum += static_cast<int64_t>(price[i]) * disc[i];
-    }
-  }
-  return sum;
+  return TpchQ6RowsLocked(0, keys_.size(), lo, hi, disc_lo, disc_hi, qty_max);
+}
+
+uint64_t NoOrderLayout::ScanShard(size_t shard) const {
+  SharedChunkGuard guard(engine_latch_);
+  const auto [begin, end] = MorselBounds(shard);
+  // Insertion order carries no key structure: every row in the morsel is
+  // live, and the full-domain scan visits all of them (both edges included).
+  return end - begin;
 }
 
 uint64_t NoOrderLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
   SharedChunkGuard guard(engine_latch_);
   const auto [begin, end] = MorselBounds(shard);
-  uint64_t count = 0;
-  for (size_t i = begin; i < end; ++i) {
-    count += (keys_[i] >= lo && keys_[i] < hi);
+  // Shard 0 casts the query's single read-mostly vote (every fanned query
+  // visits it exactly once); the other morsels only consume a cache hit.
+  if (const auto col = CompressedColumn(/*count_scan=*/shard == 0)) {
+    return col->CountRangeInRows(begin, end, lo, hi);
   }
-  return count;
+  return kernels::CountInRange(keys_.data() + begin, end - begin, lo, hi);
 }
 
 int64_t NoOrderLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                             const std::vector<size_t>& cols) const {
   SharedChunkGuard guard(engine_latch_);
   const auto [begin, end] = MorselBounds(shard);
-  int64_t sum = 0;
-  for (size_t i = begin; i < end; ++i) {
-    if (keys_[i] >= lo && keys_[i] < hi) {
-      for (const size_t c : cols) sum += payload_[c][i];
-    }
+  uint64_t sum = 0;
+  for (const size_t c : cols) {
+    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
+        keys_.data() + begin, payload_[c].data() + begin, end - begin, lo, hi));
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 int64_t NoOrderLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
                                    Payload disc_lo, Payload disc_hi,
                                    Payload qty_max) const {
   SharedChunkGuard guard(engine_latch_);
-  if (payload_.size() < 3) return 0;
   const auto [begin, end] = MorselBounds(shard);
-  const auto& qty = payload_[0];
-  const auto& disc = payload_[1];
-  const auto& price = payload_[2];
+  return TpchQ6RowsLocked(begin, end, lo, hi, disc_lo, disc_hi, qty_max);
+}
+
+int64_t NoOrderLayout::TpchQ6RowsLocked(size_t begin, size_t end, Value lo,
+                                        Value hi, Payload disc_lo,
+                                        Payload disc_hi, Payload qty_max) const {
+  if (payload_.size() < 3) return 0;
+  end = std::min(end, keys_.size());
+  if (begin >= end) return 0;
+  const Payload* qty = payload_[0].data();
+  const Payload* disc = payload_[1].data();
+  const Payload* price = payload_[2].data();
   int64_t sum = 0;
-  for (size_t i = begin; i < end; ++i) {
-    if (keys_[i] >= lo && keys_[i] < hi && disc[i] >= disc_lo &&
-        disc[i] <= disc_hi && qty[i] < qty_max) {
-      sum += static_cast<int64_t>(price[i]) * disc[i];
-    }
-  }
+  // Late materialization: vector-filter the key predicate, then run the
+  // payload predicates only on the qualifying slots.
+  kernels::ForEachQualifyingSlot(
+      keys_.data() + begin, end - begin, lo, hi, static_cast<uint32_t>(begin),
+      [&](uint32_t i) {
+        if (disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_max) {
+          sum += static_cast<int64_t>(price[i]) * disc[i];
+        }
+      });
   return sum;
 }
 
@@ -164,29 +178,23 @@ void NoOrderLayout::Insert(Value key, const std::vector<Payload>& payload) {
 
 size_t NoOrderLayout::Delete(Value key) {
   ExclusiveChunkGuard guard(engine_latch_);
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    if (keys_[i] == key) {
-      keys_[i] = keys_.back();
-      keys_.pop_back();
-      for (auto& col : payload_) {
-        col[i] = col.back();
-        col.pop_back();
-      }
-      return 1;
-    }
+  const size_t i = kernels::FindFirstEqual(keys_.data(), keys_.size(), key);
+  if (i == keys_.size()) return 0;
+  keys_[i] = keys_.back();
+  keys_.pop_back();
+  for (auto& col : payload_) {
+    col[i] = col.back();
+    col.pop_back();
   }
-  return 0;
+  return 1;
 }
 
 bool NoOrderLayout::UpdateKey(Value old_key, Value new_key) {
   ExclusiveChunkGuard guard(engine_latch_);
-  for (auto& k : keys_) {
-    if (k == old_key) {
-      k = new_key;  // in-place update: the luxury of an unordered layout
-      return true;
-    }
-  }
-  return false;
+  const size_t i = kernels::FindFirstEqual(keys_.data(), keys_.size(), old_key);
+  if (i == keys_.size()) return false;
+  keys_[i] = new_key;  // in-place update: the luxury of an unordered layout
+  return true;
 }
 
 LayoutMemoryStats NoOrderLayout::MemoryStats() const {
@@ -194,7 +202,9 @@ LayoutMemoryStats NoOrderLayout::MemoryStats() const {
   LayoutMemoryStats s;
   s.data_bytes = keys_.size() * sizeof(Value) +
                  payload_.size() * keys_.size() * sizeof(Payload);
-  s.total_bytes = s.data_bytes;
+  // A live compressed encoding is real resident memory, same as the
+  // partitioned table's accounting.
+  s.total_bytes = s.data_bytes + compressed_.MemoryBytes();
   return s;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "layouts/layout_engine.h"
+#include "storage/compressed_cache.h"
 
 namespace casper {
 
@@ -37,6 +38,7 @@ class NoOrderLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return keys_.empty() ? 1 : (keys_.size() + kMorselRows - 1) / kMorselRows;
   }
+  uint64_t ScanShard(size_t shard) const override;
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
   int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                const std::vector<size_t>& cols) const override;
@@ -78,8 +80,24 @@ class NoOrderLayout final : public LayoutEngine {
     return {begin < keys_.size() ? begin : keys_.size(), end};
   }
 
+  /// Whole-column FoR encoding for count scans (slot 0), valid while the
+  /// engine-latch epoch is unchanged. Caller holds the engine latch shared.
+  /// count_scan=false consumes a hit without voting toward the build
+  /// threshold (per-morsel shard scans vote once, via shard 0).
+  CompressedChunkCache::ColumnPtr CompressedColumn(bool count_scan = true) const;
+
+  /// Q6 over the row window [begin, end), engine latch held: key-filter
+  /// through the FilterSlots kernel, payload predicates on the survivors.
+  int64_t TpchQ6RowsLocked(size_t begin, size_t end, Value lo, Value hi,
+                           Payload disc_lo, Payload disc_hi,
+                           Payload qty_max) const;
+
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;  // [col][row]
+  /// One-slot cache: the whole insertion-order column is the chunk here.
+  /// Fixed 4096-value frames (zone maps only pay off on clustered data, and
+  /// the payoff gate rejects incompressible key sets entirely).
+  mutable CompressedChunkCache compressed_{1};
 };
 
 }  // namespace casper

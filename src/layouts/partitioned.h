@@ -65,6 +65,9 @@ class PartitionedLayout final : public LayoutEngine {
   // independent layout/tuning unit of paper §4.4, and here the independent
   // execution unit too).
   size_t NumShards() const override { return table_.num_chunks(); }
+  uint64_t ScanShard(size_t shard) const override {
+    return table_.ScanChunk(shard);
+  }
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override {
     return table_.CountRangeInChunk(shard, lo, hi);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/scan_kernels.h"
 #include "util/status.h"
 
 namespace casper {
@@ -43,12 +44,14 @@ int64_t SortedLayout::SumPayloadRange(Value lo, Value hi,
   const size_t last = static_cast<size_t>(
       std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(first), keys_.end(), hi) -
       keys_.begin());
-  int64_t sum = 0;
+  // Binary search already isolated the qualifying rows; the aggregation is
+  // an unconditional vector sum over each payload slice.
+  uint64_t sum = 0;
   for (const size_t c : cols) {
-    const auto& col = payload_[c];
-    for (size_t i = first; i < last; ++i) sum += col[i];
+    sum += static_cast<uint64_t>(
+        kernels::SumPayload(payload_[c].data() + first, last - first));
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 int64_t SortedLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
@@ -78,6 +81,16 @@ std::pair<size_t, size_t> SortedLayout::ShardWindow(size_t shard, Value lo,
   return SortedShardWindow(keys_, kShardRows, shard, lo, hi);
 }
 
+uint64_t SortedLayout::ScanShard(size_t shard) const {
+  SharedChunkGuard guard(engine_latch_);
+  // Sorted rows are all live; the full-domain scan is the window width
+  // (binary-search layouts never touch data for pure counts — and unlike a
+  // [kMinValue + 1, kMaxValue) range, this includes both domain edges).
+  const size_t begin = shard * kShardRows;
+  if (begin >= keys_.size()) return 0;
+  return std::min(keys_.size(), begin + kShardRows) - begin;
+}
+
 uint64_t SortedLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
   SharedChunkGuard guard(engine_latch_);
   const auto [first, last] = ShardWindow(shard, lo, hi);
@@ -88,12 +101,12 @@ int64_t SortedLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                            const std::vector<size_t>& cols) const {
   SharedChunkGuard guard(engine_latch_);
   const auto [first, last] = ShardWindow(shard, lo, hi);
-  int64_t sum = 0;
+  uint64_t sum = 0;
   for (const size_t c : cols) {
-    const auto& col = payload_[c];
-    for (size_t i = first; i < last; ++i) sum += col[i];
+    sum += static_cast<uint64_t>(
+        kernels::SumPayload(payload_[c].data() + first, last - first));
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 int64_t SortedLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,

@@ -50,6 +50,7 @@ class SortedLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return keys_.empty() ? 1 : (keys_.size() + kShardRows - 1) / kShardRows;
   }
+  uint64_t ScanShard(size_t shard) const override;
   uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
   int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
                                const std::vector<size_t>& cols) const override;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "compression/frame_of_reference.h"
+#include "exec/scan_kernels.h"
 #include "util/status.h"
 
 namespace casper {
@@ -99,22 +101,33 @@ size_t PartitionedColumnChunk::CountEqual(Value v) const {
   const size_t t = index_.Route(v);
   const Partition& p = parts_[t];
   ++stats_.partitions_scanned;
-  if (p.size == 0 || v < p.min_val || v > p.max_val) return 0;
-  size_t count = 0;
-  const Value* d = data_.data() + p.begin;
-  for (size_t i = 0; i < p.size; ++i) count += (d[i] == v);
+  if (p.size == 0 || v < p.min_val || v > p.max_val) {
+    ++stats_.partitions_pruned;
+    return 0;
+  }
   stats_.element_reads += p.size;
-  return count;
+  return kernels::CountEqual(data_.data() + p.begin, p.size, v);
 }
 
 void PartitionedColumnChunk::CollectSlots(Value v, std::vector<uint32_t>* out) const {
   const size_t t = index_.Route(v);
   const Partition& p = parts_[t];
   ++stats_.partitions_scanned;
-  if (p.size == 0 || v < p.min_val || v > p.max_val) return;
+  if (p.size == 0 || v < p.min_val || v > p.max_val) {
+    ++stats_.partitions_pruned;
+    return;
+  }
   stats_.element_reads += p.size;
-  for (size_t s = p.begin; s < p.begin + p.size; ++s) {
-    if (data_[s] == v) out->push_back(static_cast<uint32_t>(s));
+  // Stream matches through a stack block instead of resize()-zeroing p.size
+  // output slots that the kernel would mostly never write.
+  constexpr size_t kBlock = 256;
+  uint32_t slots[kBlock];
+  const Value* d = data_.data() + p.begin;
+  for (size_t off = 0; off < p.size; off += kBlock) {
+    const size_t m = p.size - off < kBlock ? p.size - off : kBlock;
+    const size_t k = kernels::FilterSlotsEqual(
+        d + off, m, v, static_cast<uint32_t>(p.begin + off), slots);
+    out->insert(out->end(), slots, slots + k);
   }
 }
 
@@ -126,30 +139,104 @@ uint64_t PartitionedColumnChunk::CountRange(Value lo, Value hi) const {
   // Accumulate accounting locally and flush once: one atomic add per query
   // instead of one per partition on the hottest read path.
   uint64_t scanned = 0;
+  uint64_t pruned = 0;
   uint64_t reads = 0;
   for (size_t t = first; t <= last && t < parts_.size(); ++t) {
     const Partition& p = parts_[t];
     if (p.size == 0) continue;
-    ++scanned;
     if (t == first || t == last) {
-      if (p.min_val >= hi || p.max_val < lo) continue;
-      const Value* d = data_.data() + p.begin;
-      for (size_t i = 0; i < p.size; ++i) count += (d[i] >= lo && d[i] < hi);
+      if (p.min_val >= hi || p.max_val < lo) {
+        // Zone map excluded the boundary partition: pruned, not scanned —
+        // the same accounting the compressed path uses for pruned frames.
+        ++pruned;
+        continue;
+      }
+      ++scanned;
+      if (p.min_val >= lo && p.max_val < hi) {
+        count += p.size;  // zone map fully qualifies it: blind consume
+        continue;
+      }
+      count += kernels::CountInRange(data_.data() + p.begin, p.size, lo, hi);
       reads += p.size;
     } else {
       // Middle partitions fully qualify: blind consume (paper Fig. 3c).
+      ++scanned;
       count += p.size;
     }
   }
   stats_.partitions_scanned += scanned;
+  stats_.partitions_pruned += pruned;
   stats_.element_reads += reads;
   return count;
 }
 
 int64_t PartitionedColumnChunk::SumRange(Value lo, Value hi) const {
-  int64_t sum = 0;
-  ForEachSlotInRange(lo, hi, [&](uint32_t s) { sum += data_[s]; });
-  return sum;
+  if (lo >= hi || live_ == 0) return 0;
+  const size_t first = index_.Route(lo);
+  const size_t last = index_.Route(hi - 1);
+  uint64_t sum = 0;
+  // Batched accounting, one atomic flush per query (like CountRange).
+  uint64_t scanned = 0;
+  uint64_t pruned = 0;
+  uint64_t reads = 0;
+  for (size_t t = first; t <= last && t < parts_.size(); ++t) {
+    const Partition& p = parts_[t];
+    if (p.size == 0) continue;
+    if (p.min_val >= hi || p.max_val < lo) {
+      ++pruned;
+      continue;
+    }
+    ++scanned;
+    const Value* d = data_.data() + p.begin;
+    const bool check = (t == first || t == last) &&
+                       !(p.min_val >= lo && p.max_val < hi);
+    sum += static_cast<uint64_t>(check ? kernels::SumInRange(d, p.size, lo, hi)
+                                       : kernels::SumValues(d, p.size));
+    reads += p.size;  // sums read every live element, qualifying or not
+  }
+  stats_.partitions_scanned += scanned;
+  stats_.partitions_pruned += pruned;
+  stats_.element_reads += reads;
+  return static_cast<int64_t>(sum);
+}
+
+uint64_t PartitionedColumnChunk::ScanAllCount() const {
+  // Middle-partition semantics everywhere: every partition fully qualifies
+  // for the domain-wide scan, so consume the size counters (paper Fig. 3c).
+  // Empty partitions are skipped in the accounting, like every range path.
+  uint64_t count = 0;
+  uint64_t scanned = 0;
+  for (const Partition& p : parts_) {
+    count += p.size;
+    scanned += (p.size != 0);
+  }
+  stats_.partitions_scanned += scanned;
+  return count;
+}
+
+void PartitionedColumnChunk::LiveValues(std::vector<Value>* values,
+                                        std::vector<size_t>* frame_sizes) const {
+  values->clear();
+  frame_sizes->clear();
+  values->reserve(live_);
+  for (const Partition& p : parts_) {
+    if (p.size == 0) continue;
+    values->insert(values->end(),
+                   data_.begin() + static_cast<ptrdiff_t>(p.begin),
+                   data_.begin() + static_cast<ptrdiff_t>(p.begin + p.size));
+    frame_sizes->push_back(p.size);
+  }
+}
+
+uint64_t PartitionedColumnChunk::CountRangeCompressed(
+    const FrameOfReferenceColumn& col, Value lo, Value hi) const {
+  FrameOfReferenceColumn::ScanStats fs;
+  const uint64_t count = col.CountRange(lo, hi, &fs);
+  ++stats_.compressed_scans;
+  stats_.partitions_scanned += fs.frames_blind + fs.frames_scanned;
+  stats_.partitions_pruned += fs.frames_pruned;
+  stats_.element_reads += fs.elements_decoded;
+  return count;
 }
 
 void PartitionedColumnChunk::MaterializeRange(Value lo, Value hi,
@@ -263,16 +350,11 @@ size_t PartitionedColumnChunk::DeleteOne(Value v, MoveLog* log) {
   Partition& p = parts_[m];
   ++stats_.partitions_scanned;
   if (p.size == 0 || v < p.min_val || v > p.max_val) return 0;
-  size_t pos = static_cast<size_t>(-1);
   const Value* d = data_.data() + p.begin;
-  for (size_t i = 0; i < p.size; ++i) {
-    if (d[i] == v) {
-      pos = p.begin + i;
-      break;
-    }
-  }
+  const size_t hit = kernels::FindFirstEqual(d, p.size, v);
   stats_.element_reads += p.size;
-  if (pos == static_cast<size_t>(-1)) return 0;
+  if (hit == p.size) return 0;
+  const size_t pos = p.begin + hit;
   const size_t last = p.begin + p.size - 1;
   if (pos != last) {
     data_[pos] = data_[last];
@@ -295,16 +377,11 @@ bool PartitionedColumnChunk::Update(Value old_value, Value new_value, MoveLog* l
   Partition& p = parts_[i];
   ++stats_.partitions_scanned;
   if (p.size == 0 || old_value < p.min_val || old_value > p.max_val) return false;
-  size_t pos = static_cast<size_t>(-1);
   const Value* d = data_.data() + p.begin;
-  for (size_t s = 0; s < p.size; ++s) {
-    if (d[s] == old_value) {
-      pos = p.begin + s;
-      break;
-    }
-  }
+  const size_t hit = kernels::FindFirstEqual(d, p.size, old_value);
   stats_.element_reads += p.size;
-  if (pos == static_cast<size_t>(-1)) return false;
+  if (hit == p.size) return false;
+  const size_t pos = p.begin + hit;
 
   const size_t j = index_.Route(new_value);
   if (log) log->source_slot = static_cast<uint32_t>(pos);

@@ -4,10 +4,13 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/scan_kernels.h"
 #include "storage/partition_index.h"
 #include "storage/types.h"
 
 namespace casper {
+
+class FrameOfReferenceColumn;
 
 /// A range-partitioned column chunk — the physical heart of Casper
 /// (paper §3, §6). Values live in one contiguous buffer split into
@@ -87,9 +90,33 @@ class PartitionedColumnChunk {
   void MaterializeRange(Value lo, Value hi, std::vector<Value>* out) const;
 
   /// Visits each live slot in [lo, hi): fn(slot). Used by tables to apply
-  /// per-row logic (e.g. payload aggregation) on qualifying rows.
+  /// per-row logic (e.g. payload aggregation) on qualifying rows. Boundary
+  /// partitions are filtered through the vectorized FilterSlots kernel;
+  /// zone-map-qualified partitions skip the predicate entirely.
   template <typename Fn>
   void ForEachSlotInRange(Value lo, Value hi, Fn&& fn) const;
+
+  /// Count of live values scanned partition-by-partition with no range
+  /// predicate — the full-table-scan read path (covers the whole key domain,
+  /// including both domain edges, unlike any half-open [lo, hi)).
+  uint64_t ScanAllCount() const;
+
+  // --- Compressed read path --------------------------------------------------
+
+  /// Live values in partition order plus one frame size per non-empty
+  /// partition — the source layout for this chunk's frame-of-reference
+  /// encoding (frames == partitions, so the paper's partitioning/compression
+  /// synergy holds: finer partitions => narrower frames).
+  void LiveValues(std::vector<Value>* values,
+                  std::vector<size_t>* frame_sizes) const;
+
+  /// CountRange answered from `col`, a FoR encoding produced from
+  /// LiveValues() at the current epoch, with accounting mirrored onto this
+  /// chunk's counters (frames map 1:1 to non-empty partitions, so
+  /// partitions_scanned / partitions_pruned / element_reads stay comparable
+  /// with the raw path).
+  uint64_t CountRangeCompressed(const FrameOfReferenceColumn& col, Value lo,
+                                Value hi) const;
 
   // --- Write path ------------------------------------------------------------
 
@@ -173,10 +200,20 @@ void PartitionedColumnChunk::ForEachSlotInRange(Value lo, Value hi, Fn&& fn) con
   const size_t last = index_.Route(hi - 1);
   for (size_t t = first; t <= last && t < parts_.size(); ++t) {
     const Partition& p = parts_[t];
-    if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
-    const bool boundary = (t == first || t == last);
-    for (size_t s = p.begin; s < p.begin + p.size; ++s) {
-      if (!boundary || (data_[s] >= lo && data_[s] < hi)) {
+    if (p.size == 0) continue;
+    if (p.min_val >= hi || p.max_val < lo) {
+      ++stats_.partitions_pruned;  // zone map excluded it: zero touched
+      continue;
+    }
+    // A boundary partition whose zone map sits fully inside [lo, hi) needs
+    // no predicate either — same blind consume as a middle partition.
+    const bool check = (t == first || t == last) &&
+                       !(p.min_val >= lo && p.max_val < hi);
+    if (check) {
+      kernels::ForEachQualifyingSlot(data_.data() + p.begin, p.size, lo, hi,
+                                     static_cast<uint32_t>(p.begin), fn);
+    } else {
+      for (size_t s = p.begin; s < p.begin + p.size; ++s) {
         fn(static_cast<uint32_t>(s));
       }
     }

@@ -1,0 +1,207 @@
+#ifndef CASPER_STORAGE_COMPRESSED_CACHE_H_
+#define CASPER_STORAGE_COMPRESSED_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "compression/frame_of_reference.h"
+#include "storage/types.h"
+
+namespace casper {
+
+/// Lazy per-chunk frame-of-reference encodings for read-mostly chunks — the
+/// "compressed chunk scan" side of the scan-kernel layer (paper §6.2: the
+/// partitioning/compression synergy; ByteStore: base-layout kernel choice
+/// dominates hybrid throughput).
+///
+/// Policy:
+///  - An encoding is built only after a chunk has been range-scanned
+///    `build_after_scans` times at one write epoch (a chunk that keeps
+///    taking writes never pays the encode), and only if it actually
+///    compresses (mean offset width <= `max_mean_bits`); otherwise the slot
+///    remembers the rejection until the next write.
+///  - Validity is tied to the chunk's epoch/latch (chunk_latch.h): callers
+///    pass the latch's current even epoch while holding it shared, so a
+///    cached encoding can never be observed across a write — any write
+///    advances the epoch by two and lazily invalidates the slot on its next
+///    access. No extra synchronization with writers is needed.
+///  - Returned encodings are shared_ptr snapshots: a scan keeps its column
+///    alive even if a later epoch rebuilds the slot.
+///
+/// Thread safety: any number of readers may call Get/GetOrBuild concurrently
+/// (they hold the chunk latch shared). The hit path is lock-free — an atomic
+/// epoch check plus an atomic shared_ptr load — because the shared latch
+/// guarantees every concurrent caller passes the SAME epoch (a writer would
+/// need the latch exclusive to change it), so cross-epoch races cannot
+/// happen mid-query. The per-slot mutex serializes only epoch-rollover
+/// resets and the encode itself: the winning reader builds while peers wait,
+/// then everyone shares the same column.
+class CompressedChunkCache {
+ public:
+  struct Config {
+    /// Range scans observed at one epoch before the encode is attempted.
+    size_t build_after_scans = 8;
+    /// Don't bother encoding chunks smaller than this.
+    size_t min_rows = 4096;
+    /// Reject encodings whose mean bits/value exceed this (< 2x compression
+    /// vs the 64-bit raw column means the raw SIMD scan is the cheaper
+    /// representation). Applied by GetOrBuild to whatever the encoder
+    /// returns, so every caller shares one payoff gate.
+    double max_mean_bits = 32.0;
+    /// Churn backoff cap: every time a BUILT encoding is invalidated by a
+    /// write, the scan threshold for the next build doubles (up to
+    /// build_after_scans << max_churn_shift), so write-hot chunks stop
+    /// paying O(chunk) encodes they never amortize. A genuinely read-mostly
+    /// chunk reaches its (higher) threshold anyway; a hybrid chunk stops
+    /// rebuilding after a couple of wasted encodes per workload lifetime.
+    unsigned max_churn_shift = 6;
+  };
+
+  using ColumnPtr = std::shared_ptr<const FrameOfReferenceColumn>;
+
+  CompressedChunkCache() = default;
+  explicit CompressedChunkCache(size_t slots) { Reset(slots); }
+  CompressedChunkCache(size_t slots, Config config) : config_(config) {
+    Reset(slots);
+  }
+
+  /// (Re)sizes the slot set; build-time only (not thread-safe).
+  void Reset(size_t slots) {
+    entries_.clear();
+    entries_.reserve(slots);
+    for (size_t i = 0; i < slots; ++i) {
+      entries_.push_back(std::make_unique<Entry>());
+    }
+  }
+
+  size_t num_slots() const { return entries_.size(); }
+  const Config& config() const { return config_; }
+
+  /// Hit-only lookup: the cached encoding for `slot` if one is valid at
+  /// `epoch`, nullptr otherwise — no scan accounting, no build, lock-free.
+  /// For read paths that should consume an existing encoding without voting
+  /// to create one (e.g. per-morsel shard scans, which would otherwise
+  /// inflate the scan counter by the fan-out width every query).
+  ColumnPtr Get(size_t slot, uint64_t epoch) const {
+    const Entry& e = *entries_[slot];
+    if (e.epoch.load(std::memory_order_acquire) != epoch) return nullptr;
+    return std::atomic_load_explicit(&e.column, std::memory_order_acquire);
+  }
+
+  /// Cached encoding for `slot` if one is valid at `epoch`; otherwise counts
+  /// this scan and, once the slot is hot enough, invokes `encode()` (which
+  /// may return nullptr to veto). Encodings that fail the compression-payoff
+  /// gate (Config::max_mean_bits) are rejected here, once, for every caller.
+  /// Callers must hold the slot's chunk latch shared and pass that latch's
+  /// current (necessarily even) epoch. The hit path takes no lock.
+  template <typename EncodeFn>
+  ColumnPtr GetOrBuild(size_t slot, uint64_t epoch, size_t rows,
+                       EncodeFn&& encode) {
+    if (rows < config_.min_rows) return nullptr;
+    Entry& e = *entries_[slot];
+    if (e.epoch.load(std::memory_order_acquire) != epoch) {
+      // A write advanced the chunk epoch since this slot last recorded one:
+      // drop the stale state. Peers hold the chunk latch shared too, so they
+      // carry the same `epoch`; the mutex only orders the reset among them.
+      std::lock_guard<std::mutex> lock(e.mu);
+      if (e.epoch.load(std::memory_order_relaxed) != epoch) {
+        // An encode we paid for and never got to keep: back off (double the
+        // threshold) so chunks that keep taking writes stop rebuilding.
+        if (std::atomic_load_explicit(&e.column, std::memory_order_relaxed) !=
+                nullptr &&
+            e.churn.load(std::memory_order_relaxed) < config_.max_churn_shift) {
+          e.churn.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::atomic_store_explicit(&e.column, ColumnPtr(),
+                                   std::memory_order_release);
+        e.rejected.store(false, std::memory_order_relaxed);
+        e.scans.store(0, std::memory_order_relaxed);
+        e.epoch.store(epoch, std::memory_order_release);  // publish last
+      }
+    }
+    if (ColumnPtr col =
+            std::atomic_load_explicit(&e.column, std::memory_order_acquire)) {
+      return col;  // lock-free hit
+    }
+    if (e.rejected.load(std::memory_order_relaxed)) return nullptr;
+    const size_t threshold = config_.build_after_scans
+                             << e.churn.load(std::memory_order_relaxed);
+    if (e.scans.fetch_add(1, std::memory_order_relaxed) + 1 < threshold) {
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (ColumnPtr col =
+            std::atomic_load_explicit(&e.column, std::memory_order_acquire)) {
+      return col;  // a peer built it while we waited
+    }
+    if (e.rejected.load(std::memory_order_relaxed)) return nullptr;
+    ColumnPtr built = encode();
+    if (built != nullptr && built->MeanBitsPerValue() > config_.max_mean_bits) {
+      built = nullptr;  // doesn't compress: raw SIMD scan stays cheaper
+    }
+    if (built == nullptr) {
+      e.rejected.store(true, std::memory_order_relaxed);
+      return nullptr;
+    }
+    std::atomic_store_explicit(&e.column, built, std::memory_order_release);
+    return built;
+  }
+
+  /// Drops every cached encoding (memory pressure / tests).
+  void Clear() {
+    for (auto& e : entries_) {
+      std::lock_guard<std::mutex> lock(e->mu);
+      std::atomic_store_explicit(&e->column, ColumnPtr(),
+                                 std::memory_order_release);
+      e->scans.store(0, std::memory_order_relaxed);
+      e->churn.store(0, std::memory_order_relaxed);
+      e->rejected.store(false, std::memory_order_relaxed);
+      e->epoch.store(kNoEpoch, std::memory_order_release);
+    }
+  }
+
+  /// Bytes held by live encodings (memory-amplification reporting).
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const auto& e : entries_) {
+      if (const ColumnPtr col = std::atomic_load_explicit(
+              &e->column, std::memory_order_acquire)) {
+        bytes += col->CompressedBytes();
+      }
+    }
+    return bytes;
+  }
+
+  /// True when `slot` currently holds a live encoding (test hook).
+  bool HasEncoding(size_t slot) const {
+    return std::atomic_load_explicit(&entries_[slot]->column,
+                                     std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  static constexpr uint64_t kNoEpoch = ~uint64_t{0};
+
+  struct Entry {
+    std::atomic<uint64_t> epoch{kNoEpoch};
+    std::atomic<uint32_t> scans{0};
+    /// Builds lost to writes; left-shifts the scan threshold (backoff).
+    std::atomic<unsigned> churn{0};
+    std::atomic<bool> rejected{false};
+    /// Build/reset serialization only; hits bypass it. `column` is accessed
+    /// through the std::atomic_load/store shared_ptr free functions.
+    mutable std::mutex mu;
+    ColumnPtr column;
+  };
+
+  Config config_;
+  // unique_ptr keeps the owning table movable (Entry holds a mutex).
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace casper
+
+#endif  // CASPER_STORAGE_COMPRESSED_CACHE_H_

@@ -88,7 +88,24 @@ PartitionedTable PartitionedTable::Build(std::vector<Value> sorted_keys,
     table.latches_.push_back(std::make_unique<ChunkLatch>());
     offset += n;
   }
+  table.compressed_.Reset(table.chunks_.size());
   return table;
+}
+
+CompressedChunkCache::ColumnPtr PartitionedTable::CompressedFor(size_t c) const {
+  // The shared latch (held by the caller) pins the epoch at an even value,
+  // so an encoding built or fetched here cannot straddle a write.
+  // The compression-payoff gate lives in GetOrBuild; this lambda only
+  // extracts the chunk's live values (frames == partitions).
+  return compressed_.GetOrBuild(
+      c, latches_[c]->Epoch(), chunks_[c].keys.size(),
+      [&]() -> CompressedChunkCache::ColumnPtr {
+        std::vector<Value> values;
+        std::vector<size_t> frames;
+        chunks_[c].keys.LiveValues(&values, &frames);
+        if (values.empty()) return nullptr;
+        return std::make_shared<FrameOfReferenceColumn>(values, frames);
+      });
 }
 
 size_t PartitionedTable::RouteChunk(Value key) const {
@@ -132,7 +149,15 @@ uint64_t PartitionedTable::CountRange(Value lo, Value hi) const {
 uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const {
   if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
   SharedChunkGuard guard(*latches_[c]);
+  if (const auto col = CompressedFor(c)) {
+    return chunks_[c].keys.CountRangeCompressed(*col, lo, hi);
+  }
   return chunks_[c].keys.CountRange(lo, hi);
+}
+
+uint64_t PartitionedTable::ScanChunk(size_t c) const {
+  SharedChunkGuard guard(*latches_[c]);
+  return chunks_[c].keys.ScanAllCount();
 }
 
 int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
@@ -152,27 +177,26 @@ int64_t PartitionedTable::SumPayloadRangeInChunk(
   SharedChunkGuard guard(*latches_[c]);
   const auto& chunk = chunks_[c].keys;
   if (chunk.size() == 0) return 0;
-  int64_t sum = 0;
+  uint64_t sum = 0;
   const Value* keys = chunk.raw_data().data();
   const size_t first = chunk.RoutePartition(lo);
   const size_t last = chunk.RoutePartition(hi - 1);
   for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
     const auto& p = chunk.partition(t);
     if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
-    const size_t begin = p.begin;
-    const size_t end = p.begin + p.size;
+    // A boundary partition whose zone map sits inside [lo, hi) is consumed
+    // predicate-free, exactly like a middle partition (paper Fig. 3c).
+    const bool check = (t == first || t == last) &&
+                       !(p.min_val >= lo && p.max_val < hi);
     for (const size_t col : cols) {
       const Payload* data = chunks_[c].payload[col].data();
-      if (t == first || t == last) {
-        for (size_t s = begin; s < end; ++s) {
-          if (keys[s] >= lo && keys[s] < hi) sum += data[s];
-        }
-      } else {
-        for (size_t s = begin; s < end; ++s) sum += data[s];
-      }
+      sum += static_cast<uint64_t>(
+          check ? kernels::SumPayloadInRange(keys + p.begin, data + p.begin,
+                                             p.size, lo, hi)
+                : kernels::SumPayload(data + p.begin, p.size));
     }
   }
-  return sum;
+  return static_cast<int64_t>(sum);
 }
 
 int64_t PartitionedTable::TpchQ6(Value lo, Value hi, Payload disc_lo,
@@ -205,15 +229,20 @@ int64_t PartitionedTable::TpchQ6InChunk(size_t c, Value lo, Value hi,
     if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
     const size_t begin = p.begin;
     const size_t end = p.begin + p.size;
-    if (t == first || t == last) {
-      for (size_t s = begin; s < end; ++s) {
-        if (keys[s] >= lo && keys[s] < hi && disc[s] >= disc_lo &&
-            disc[s] <= disc_hi && qty[s] < qty_max) {
-          sum += static_cast<int64_t>(price[s]) * disc[s];
-        }
-      }
+    const bool check = (t == first || t == last) &&
+                       !(p.min_val >= lo && p.max_val < hi);
+    if (check) {
+      // Late materialization: the vector kernel selects key-qualifying
+      // slots, the payload predicate then runs only on the survivors.
+      kernels::ForEachQualifyingSlot(
+          keys + begin, p.size, lo, hi, static_cast<uint32_t>(begin),
+          [&](uint32_t s) {
+            if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
+              sum += static_cast<int64_t>(price[s]) * disc[s];
+            }
+          });
     } else {
-      // Middle partitions fully qualify on the key: payload-only filter.
+      // Key predicate fully satisfied by the zone map: payload-only filter.
       for (size_t s = begin; s < end; ++s) {
         if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
           sum += static_cast<int64_t>(price[s]) * disc[s];
@@ -431,6 +460,8 @@ size_t PartitionedTable::MemoryBytes() const {
     bytes += chunks_[c].keys.capacity() * sizeof(Value);
     for (const auto& col : chunks_[c].payload) bytes += col.size() * sizeof(Payload);
   }
+  // Cached compressed encodings are real resident bytes too.
+  bytes += compressed_.MemoryBytes();
   return bytes;
 }
 

@@ -7,6 +7,7 @@
 
 #include "storage/chunk_latch.h"
 #include "storage/column_chunk.h"
+#include "storage/compressed_cache.h"
 #include "storage/types.h"
 
 namespace casper {
@@ -85,8 +86,16 @@ class PartitionedTable {
   // chunk-disjoint write runs commit in parallel; the per-chunk access
   // counters are relaxed atomics on top of that.
 
-  /// COUNT(*) WHERE key in [lo, hi), restricted to chunk c.
+  /// COUNT(*) WHERE key in [lo, hi), restricted to chunk c. Once chunk c has
+  /// proven read-mostly (several scans at one write epoch), the count is
+  /// answered from a lazily built frame-of-reference encoding
+  /// (CompressedChunkCache) — scan-on-compressed via the packed kernels —
+  /// and any write to the chunk invalidates the encoding through its epoch.
   uint64_t CountRangeInChunk(size_t c, Value lo, Value hi) const;
+
+  /// Full scan of chunk c: live rows, no range predicate — covers the whole
+  /// key domain including both edges (the ScanAll read path).
+  uint64_t ScanChunk(size_t c) const;
 
   /// SUM over `cols` WHERE key in [lo, hi), restricted to chunk c.
   int64_t SumPayloadRangeInChunk(size_t c, Value lo, Value hi,
@@ -197,6 +206,9 @@ class PartitionedTable {
   const PartitionedColumnChunk& key_chunk(size_t i) const { return chunks_[i].keys; }
   PartitionedColumnChunk& mutable_key_chunk(size_t i) { return chunks_[i].keys; }
 
+  /// Per-chunk compressed-encoding cache (test / reporting hook).
+  const CompressedChunkCache& compressed_cache() const { return compressed_; }
+
   /// Bytes held by key + payload storage (memory-amplification reporting).
   size_t MemoryBytes() const;
 
@@ -217,6 +229,11 @@ class PartitionedTable {
                     const std::vector<Payload>* new_payload,
                     std::vector<Payload>* stash);
 
+  /// Chunk-c FoR encoding if cached and valid at the chunk's current epoch;
+  /// counts the scan (and maybe builds) otherwise. Caller holds the chunk
+  /// latch shared.
+  CompressedChunkCache::ColumnPtr CompressedFor(size_t c) const;
+
   Options opts_;
   size_t payload_cols_ = 0;
   /// Whole-table row count: relaxed atomic because chunk-disjoint write runs
@@ -227,6 +244,9 @@ class PartitionedTable {
   /// Per-chunk epoch/latches (unique_ptr keeps TableChunk vectors movable;
   /// the set is sized once at Build and never changes).
   std::vector<std::unique_ptr<ChunkLatch>> latches_;
+  /// Lazy per-chunk FoR encodings for read-mostly chunks; epoch-invalidated
+  /// by the latches above (see CompressedChunkCache).
+  mutable CompressedChunkCache compressed_;
 };
 
 template <typename Fn>

@@ -98,7 +98,9 @@ struct ChunkStatsSnapshot {
   uint64_t element_writes = 0;
   uint64_t ripple_steps = 0;
   uint64_t partitions_scanned = 0;
+  uint64_t partitions_pruned = 0;
   uint64_t blocks_scanned = 0;
+  uint64_t compressed_scans = 0;
   uint64_t grows = 0;
 };
 
@@ -113,7 +115,12 @@ struct ChunkStats {
   RelaxedCounter element_writes;
   RelaxedCounter ripple_steps;       ///< free-slot moves across boundaries
   RelaxedCounter partitions_scanned; ///< partitions touched by queries
+  RelaxedCounter partitions_pruned;  ///< partitions skipped by their zone map
+                                     ///< (min_val/max_val excluded the range
+                                     ///< without reading a single element)
   RelaxedCounter blocks_scanned;     ///< sequential element batches read
+  RelaxedCounter compressed_scans;   ///< range scans answered from the
+                                     ///< compressed (FoR) chunk encoding
   RelaxedCounter grows;
 
   ChunkStatsSnapshot Snapshot() const {
@@ -122,7 +129,9 @@ struct ChunkStats {
     s.element_writes = element_writes.load();
     s.ripple_steps = ripple_steps.load();
     s.partitions_scanned = partitions_scanned.load();
+    s.partitions_pruned = partitions_pruned.load();
     s.blocks_scanned = blocks_scanned.load();
+    s.compressed_scans = compressed_scans.load();
     s.grows = grows.load();
     return s;
   }
@@ -132,7 +141,9 @@ struct ChunkStats {
     element_writes.store(0);
     ripple_steps.store(0);
     partitions_scanned.store(0);
+    partitions_pruned.store(0);
     blocks_scanned.store(0);
+    compressed_scans.store(0);
     grows.store(0);
   }
 };

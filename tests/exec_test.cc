@@ -170,6 +170,50 @@ TEST(ParallelExec, EveryLayoutShardsMultiChunkTables) {
   }
 }
 
+TEST(ParallelExec, ScanAllCoversDomainEdges) {
+  // Rows keyed at BOTH integer-domain edges: no half-open [lo, hi) range can
+  // cover them all (hi would need kMaxValue + 1), so ScanAll must not be
+  // built on one. The seed's CountRange(kMinValue + 1, kMaxValue) silently
+  // dropped every row keyed kMinValue or kMaxValue.
+  std::vector<Value> keys = {kMinValue, kMinValue, -3, 0,
+                             42,        kMaxValue, kMaxValue};
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    keys.push_back(static_cast<Value>(rng.Below(100000)));
+  }
+  std::vector<std::vector<Payload>> payload(
+      3, std::vector<Payload>(keys.size()));
+  for (size_t c = 0; c < payload.size(); ++c) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      payload[c][i] = static_cast<Payload>(rng.Below(10000));
+    }
+  }
+  auto spec = hap::MakeSpec(hap::Workload::kHybridSkewed, -1000, 100000);
+  Rng train_rng(6);
+  const auto training = GenerateWorkload(spec, 1000, train_rng);
+
+  ThreadPool pool(3);
+  const ParallelExecutor par(&pool);
+  const ParallelExecutor ser(nullptr);
+  for (const LayoutMode mode : AllModes()) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    LayoutBuildOptions opts;
+    opts.mode = mode;
+    opts.chunk_values = 4096;
+    opts.block_values = 128;
+    opts.calibrate_costs = false;
+    opts.training = &training;
+    auto engine = BuildLayout(opts, keys, payload);
+    EXPECT_EQ(par.ScanAll(*engine), keys.size());
+    EXPECT_EQ(ser.ScanAll(*engine), keys.size());
+    uint64_t total = 0;
+    for (size_t s = 0; s < engine->NumShards(); ++s) {
+      total += engine->ScanShard(s);
+    }
+    EXPECT_EQ(total, keys.size());
+  }
+}
+
 TEST(LookupBatch, MatchesPointLookupAcrossLayouts) {
   const Fixture f = MakeFixture(20000, 51);
   ThreadPool pool(4);

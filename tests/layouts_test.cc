@@ -374,5 +374,96 @@ TEST(Layouts, CasperUsesTrainingSkew) {
       << "write-hot head should be coarse, read-hot tail fine";
 }
 
+// Two key clusters with a wide value gap, in one chunk of four partitions:
+// partitions [0..511][512..1023] then [1e6..][1e6+512..]. Range queries that
+// land in the gap (or cover a cluster entirely) must be answered from the
+// partition zone maps alone — partitions_pruned fires and not one element is
+// read.
+TEST(ZoneMapPruning, PrunedPartitionsAreNeverTouched) {
+  std::vector<Value> keys;
+  for (Value v = 0; v < 1024; ++v) keys.push_back(v);
+  for (Value v = 0; v < 1024; ++v) keys.push_back(1000000 + v);
+  std::vector<std::vector<Payload>> payload(
+      1, std::vector<Payload>(keys.size(), 7));
+  PartitionedTable::ChunkLayoutSpec spec;
+  spec.partition_sizes = {512, 512, 512, 512};
+  PartitionedTable table = PartitionedTable::Build(keys, payload, {spec});
+  PartitionedLayout layout(LayoutMode::kEquiWidth, std::move(table));
+
+  auto snapshot = [&] { return layout.table().key_chunk(0).StatsSnapshot(); };
+  auto clear = [&] { layout.mutable_table().mutable_key_chunk(0).stats().Clear(); };
+
+  // Query entirely inside the gap: routes to the first cluster-B partition,
+  // whose zone map excludes it. Zero elements touched.
+  clear();
+  EXPECT_EQ(layout.CountRange(2000, 900000), 0u);
+  auto s = snapshot();
+  EXPECT_GE(s.partitions_pruned, 1u);
+  EXPECT_EQ(s.element_reads, 0u);
+
+  // Query covering cluster A ending in the gap: boundary partitions fully
+  // qualify by zone map (blind consume) or are pruned — still zero reads.
+  clear();
+  EXPECT_EQ(layout.CountRange(0, 2000), 1024u);
+  s = snapshot();
+  EXPECT_GE(s.partitions_pruned, 1u);
+  EXPECT_EQ(s.element_reads, 0u);
+
+  // SumPayloadRange takes the same shortcuts.
+  clear();
+  EXPECT_EQ(layout.SumPayloadRange(2000, 900000, {0}), 0);
+  EXPECT_EQ(layout.SumPayloadRange(0, 2000, {0}), 1024 * 7);
+
+  // A query that genuinely straddles a partition boundary still reads.
+  clear();
+  EXPECT_EQ(layout.CountRange(100, 300), 200u);
+  s = snapshot();
+  EXPECT_GT(s.element_reads, 0u);
+}
+
+// The compressed-chunk cache: a read-mostly chunk gets a frame-of-reference
+// encoding after repeated scans, count queries are answered from it
+// (compressed_scans fires, results unchanged), and any write invalidates it
+// through the chunk epoch.
+TEST(CompressedChunkScans, CacheBuildsAnswersAndInvalidates) {
+  std::vector<Value> keys;
+  for (Value v = 0; v < 8192; ++v) keys.push_back(v);
+  std::vector<std::vector<Payload>> payload(
+      1, std::vector<Payload>(keys.size(), 1));
+  PartitionedTable::ChunkLayoutSpec spec;
+  spec.partition_sizes.assign(8, 1024);
+  PartitionedTable::Options topts;
+  topts.chunk_values = keys.size();
+  PartitionedTable table = PartitionedTable::Build(keys, payload, {spec}, topts);
+  PartitionedLayout layout(LayoutMode::kEquiWidthGhost, std::move(table));
+
+  // Scans at one write epoch: the cache builds once the chunk proves
+  // read-mostly, and every later count comes from the encoding.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(layout.CountRange(100, 5000), 4900u) << i;
+  }
+  EXPECT_TRUE(layout.table().compressed_cache().HasEncoding(0));
+  const auto s = layout.table().key_chunk(0).StatsSnapshot();
+  EXPECT_GT(s.compressed_scans, 0u);
+
+  // A write advances the chunk epoch; the stale encoding is dropped on the
+  // next scan and results stay exact.
+  layout.Insert(4000, {42});
+  EXPECT_EQ(layout.CountRange(100, 5000), 4901u);
+  EXPECT_FALSE(layout.table().compressed_cache().HasEncoding(0));
+  // Losing a built encoding to a write doubles the scan threshold (churn
+  // backoff: write-hot chunks must not keep paying O(chunk) encodes), so
+  // the first 12 scans at the new epoch stay raw...
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(layout.CountRange(100, 5000), 4901u) << i;
+  }
+  EXPECT_FALSE(layout.table().compressed_cache().HasEncoding(0));
+  // ...and a genuinely read-mostly chunk crosses the doubled threshold.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(layout.CountRange(100, 5000), 4901u) << i;
+  }
+  EXPECT_TRUE(layout.table().compressed_cache().HasEncoding(0));
+}
+
 }  // namespace
 }  // namespace casper

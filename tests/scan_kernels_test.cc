@@ -1,0 +1,220 @@
+// Randomized kernel-equivalence suite for the vectorized scan layer
+// (exec/scan_kernels.h): the dispatched kernels (AVX2 where the CPU has it),
+// the portable scalar references, and the scan-on-compressed packed kernels
+// must agree bit for bit on identical inputs — swept over buffer sizes
+// 0..4097 (every SIMD width boundary and tail remainder), unaligned base
+// offsets, duplicate-heavy data, and both key-domain edges. CI runs this
+// binary under ASan+UBSan and TSan as well as Release.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compression/frame_of_reference.h"
+#include "exec/scan_kernels.h"
+#include "storage/types.h"
+#include "util/rng.h"
+
+namespace casper {
+namespace {
+
+// One shared pseudo-random corpus, regenerated per size so every length
+// exercises fresh values, bounds, and alignment. Values are drawn from a
+// narrow window around zero (high duplicate/selectivity variety) with the
+// domain edges spliced in.
+struct Corpus {
+  std::vector<Value> keys;      // size + 8 slots: base offset 0..7 applied
+  std::vector<Payload> pay;
+  std::vector<uint8_t> bytes;
+  size_t offset = 0;            // unaligned base offset
+  Value lo = 0, hi = 0;         // predicate bounds (lo <= hi)
+  Value probe = 0;              // equality probe
+
+  const Value* k() const { return keys.data() + offset; }
+  const Payload* p() const { return pay.data() + offset; }
+  const uint8_t* b() const { return bytes.data() + offset; }
+};
+
+Corpus MakeCorpus(size_t n, Rng& rng) {
+  Corpus c;
+  c.offset = rng.Below(8);
+  const size_t total = n + 8;
+  c.keys.resize(total);
+  c.pay.resize(total);
+  c.bytes.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    const uint64_t pick = rng.Below(100);
+    if (pick < 2) {
+      c.keys[i] = kMinValue;  // domain edges appear in the data
+    } else if (pick < 4) {
+      c.keys[i] = kMaxValue;
+    } else {
+      c.keys[i] = static_cast<Value>(rng.Below(997)) - 498;
+    }
+    c.pay[i] = static_cast<Payload>(rng.Below(1u << 20));
+    c.bytes[i] = static_cast<uint8_t>(rng.Below(256));
+  }
+  // Bounds: usually inside the narrow window, sometimes at the edges.
+  const uint64_t bpick = rng.Below(10);
+  if (bpick == 0) {
+    c.lo = kMinValue;
+    c.hi = static_cast<Value>(rng.Below(997)) - 498;
+  } else if (bpick == 1) {
+    c.lo = static_cast<Value>(rng.Below(997)) - 498;
+    c.hi = kMaxValue;
+  } else {
+    Value a = static_cast<Value>(rng.Below(1200)) - 600;
+    Value b = static_cast<Value>(rng.Below(1200)) - 600;
+    c.lo = a < b ? a : b;
+    c.hi = a < b ? b : a;
+  }
+  c.probe = static_cast<Value>(rng.Below(997)) - 498;
+  return c;
+}
+
+// The sweep: every size in [0, 4097]. Each check compares the dispatched
+// kernel against the scalar reference (and, when AVX2 is compiled in and the
+// CPU has it, the avx2 namespace explicitly — dispatch must not mask it).
+TEST(ScanKernels, DispatchedMatchesScalarAcrossSizesAndOffsets) {
+  Rng rng(20260727);
+  for (size_t n = 0; n <= 4097; ++n) {
+    const Corpus c = MakeCorpus(n, rng);
+    const uint64_t count_ref = kernels::scalar::CountInRange(c.k(), n, c.lo, c.hi);
+    ASSERT_EQ(kernels::CountInRange(c.k(), n, c.lo, c.hi), count_ref) << n;
+    ASSERT_EQ(kernels::CountEqual(c.k(), n, c.probe),
+              kernels::scalar::CountEqual(c.k(), n, c.probe))
+        << n;
+    ASSERT_EQ(kernels::SumInRange(c.k(), n, c.lo, c.hi),
+              kernels::scalar::SumInRange(c.k(), n, c.lo, c.hi))
+        << n;
+    ASSERT_EQ(kernels::SumValues(c.k(), n), kernels::scalar::SumValues(c.k(), n))
+        << n;
+    ASSERT_EQ(kernels::SumPayloadInRange(c.k(), c.p(), n, c.lo, c.hi),
+              kernels::scalar::SumPayloadInRange(c.k(), c.p(), n, c.lo, c.hi))
+        << n;
+    ASSERT_EQ(kernels::SumPayload(c.p(), n), kernels::scalar::SumPayload(c.p(), n))
+        << n;
+    ASSERT_EQ(kernels::SumBytes(c.b(), n), kernels::scalar::SumBytes(c.b(), n))
+        << n;
+
+    std::vector<uint32_t> got(n), want(n);
+    const size_t kg = kernels::FilterSlots(c.k(), n, c.lo, c.hi, 17, got.data());
+    const size_t kw =
+        kernels::scalar::FilterSlots(c.k(), n, c.lo, c.hi, 17, want.data());
+    ASSERT_EQ(kg, kw) << n;
+    got.resize(kg);
+    want.resize(kw);
+    ASSERT_EQ(got, want) << n;
+
+    got.assign(n, 0);
+    want.assign(n, 0);
+    const size_t eg =
+        kernels::FilterSlotsEqual(c.k(), n, c.probe, 3, got.data());
+    const size_t ew =
+        kernels::scalar::FilterSlotsEqual(c.k(), n, c.probe, 3, want.data());
+    ASSERT_EQ(eg, ew) << n;
+    got.resize(eg);
+    want.resize(ew);
+    ASSERT_EQ(got, want) << n;
+
+    ASSERT_EQ(kernels::FindFirstEqual(c.k(), n, c.probe),
+              kernels::scalar::FindFirstEqual(c.k(), n, c.probe))
+        << n;
+    if (n > 0) {
+      // Probe a value guaranteed present (and the edges, if spliced in).
+      const Value present = c.k()[n / 2];
+      ASSERT_EQ(kernels::FindFirstEqual(c.k(), n, present),
+                kernels::scalar::FindFirstEqual(c.k(), n, present))
+          << n;
+    }
+
+    // Unsigned-offset kernel (the compressed path's predicate).
+    std::vector<uint64_t> u(n);
+    for (size_t i = 0; i < n; ++i) u[i] = static_cast<uint64_t>(c.k()[i]);
+    const uint64_t ulo = rng.Below(2000);
+    const uint64_t uhi = ulo + rng.Below(2000);
+    ASSERT_EQ(kernels::CountU64InRange(u.data(), n, ulo, uhi),
+              kernels::scalar::CountU64InRange(u.data(), n, ulo, uhi))
+        << n;
+  }
+}
+
+#if defined(CASPER_AVX2)
+TEST(ScanKernels, Avx2NamespaceMatchesScalarWhenAvailable) {
+  if (!kernels::HaveAvx2()) {
+    GTEST_SKIP() << "CPU lacks AVX2; dispatch already covers the scalar path";
+  }
+  Rng rng(77);
+  for (size_t n = 0; n <= 1025; ++n) {
+    const Corpus c = MakeCorpus(n, rng);
+    ASSERT_EQ(kernels::avx2::CountInRange(c.k(), n, c.lo, c.hi),
+              kernels::scalar::CountInRange(c.k(), n, c.lo, c.hi))
+        << n;
+    ASSERT_EQ(kernels::avx2::SumInRange(c.k(), n, c.lo, c.hi),
+              kernels::scalar::SumInRange(c.k(), n, c.lo, c.hi))
+        << n;
+    ASSERT_EQ(kernels::avx2::SumPayloadInRange(c.k(), c.p(), n, c.lo, c.hi),
+              kernels::scalar::SumPayloadInRange(c.k(), c.p(), n, c.lo, c.hi))
+        << n;
+    ASSERT_EQ(kernels::avx2::SumBytes(c.b(), n),
+              kernels::scalar::SumBytes(c.b(), n))
+        << n;
+    std::vector<uint32_t> got(n), want(n);
+    const size_t kg =
+        kernels::avx2::FilterSlots(c.k(), n, c.lo, c.hi, 0, got.data());
+    const size_t kw =
+        kernels::scalar::FilterSlots(c.k(), n, c.lo, c.hi, 0, want.data());
+    ASSERT_EQ(kg, kw) << n;
+    got.resize(kg);
+    want.resize(kw);
+    ASSERT_EQ(got, want) << n;
+  }
+}
+#endif  // CASPER_AVX2
+
+// Scan-on-compressed: a frame-of-reference encoding of the same buffer must
+// produce the same counts as the raw kernels, for every size, random frame
+// widths (tail frames exercise partial unpack blocks), and row-window
+// slices.
+TEST(ScanKernels, CompressedMatchesRawAcrossSizes) {
+  Rng rng(4242);
+  for (size_t n = 1; n <= 4097; n += (n < 128 ? 1 : 29)) {
+    const Corpus c = MakeCorpus(n, rng);
+    std::vector<Value> raw(c.k(), c.k() + n);
+    const size_t frame_width = 1 + rng.Below(300);
+    const FrameOfReferenceColumn col(raw, frame_width);
+    ASSERT_EQ(col.size(), n);
+
+    ASSERT_EQ(col.CountRange(c.lo, c.hi),
+              kernels::scalar::CountInRange(raw.data(), n, c.lo, c.hi))
+        << n << " fw=" << frame_width;
+
+    // Random row-window slice.
+    const size_t b = rng.Below(n + 1);
+    const size_t e = b + rng.Below(n + 1 - b);
+    ASSERT_EQ(col.CountRangeInRows(b, e, c.lo, c.hi),
+              kernels::scalar::CountInRange(raw.data() + b, e - b, c.lo, c.hi))
+        << n << " [" << b << "," << e << ")";
+
+    // Decode-free aggregate and random access agree with the raw column.
+    ASSERT_EQ(col.SumAll(), kernels::scalar::SumValues(raw.data(), n)) << n;
+    const size_t probe_at = rng.Below(n);
+    ASSERT_EQ(col.Get(probe_at), raw[probe_at]) << n;
+  }
+}
+
+// Full-domain predicates at the integer edges: [kMinValue, kMaxValue)
+// excludes exactly the kMaxValue rows; CountEqual picks them up without any
+// +1 overflow.
+TEST(ScanKernels, DomainEdgeSemantics) {
+  const std::vector<Value> d = {kMinValue, kMinValue, -1, 0, 1, kMaxValue,
+                                kMaxValue, kMaxValue};
+  EXPECT_EQ(kernels::CountInRange(d.data(), d.size(), kMinValue, kMaxValue), 5u);
+  EXPECT_EQ(kernels::CountEqual(d.data(), d.size(), kMaxValue), 3u);
+  EXPECT_EQ(kernels::CountEqual(d.data(), d.size(), kMinValue), 2u);
+  EXPECT_EQ(
+      kernels::CountInRange(d.data(), d.size(), kMinValue + 1, kMaxValue), 3u);
+}
+
+}  // namespace
+}  // namespace casper
