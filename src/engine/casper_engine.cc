@@ -22,23 +22,41 @@ CasperEngine CasperEngine::Open(LayoutBuildOptions options, std::vector<Value> k
   return CasperEngine(std::move(layout), std::move(owned), pool);
 }
 
+ScanPartial CasperEngine::ExecuteScan(const ScanSpec& spec) const {
+  return ParallelExecutor(pool_).ExecuteScan(*engine_, spec);
+}
+
 uint64_t CasperEngine::ScanAll() const {
-  return ParallelExecutor(pool_).ScanAll(*engine_);
+  return ExecuteScan(ScanSpec::FullScan()).count;
 }
 
 uint64_t CasperEngine::CountBetween(Value lo, Value hi) const {
-  return ParallelExecutor(pool_).CountRange(*engine_, lo, hi);
+  return ExecuteScan(ScanSpec::Count(lo, hi)).count;
 }
 
 int64_t CasperEngine::SumPayloadBetween(Value lo, Value hi,
                                         const std::vector<size_t>& cols) const {
-  return ParallelExecutor(pool_).SumPayloadRange(*engine_, lo, hi, cols);
+  return ExecuteScan(ScanSpec::Sum(lo, hi, cols)).SumResult();
 }
 
 int64_t CasperEngine::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                              Payload qty_max) const {
-  return ParallelExecutor(pool_).TpchQ6(*engine_, lo, hi, disc_lo, disc_hi,
-                                        qty_max);
+  return ExecuteScan(ScanSpec::Q6(lo, hi, disc_lo, disc_hi, qty_max)).SumResult();
+}
+
+uint64_t CasperEngine::MinBetween(Value lo, Value hi, size_t col) const {
+  const ScanSpec spec = ScanSpec::Min(lo, hi, col);
+  return ExecuteScan(spec).Result(spec.agg);
+}
+
+uint64_t CasperEngine::MaxBetween(Value lo, Value hi, size_t col) const {
+  const ScanSpec spec = ScanSpec::Max(lo, hi, col);
+  return ExecuteScan(spec).Result(spec.agg);
+}
+
+uint64_t CasperEngine::AvgBetween(Value lo, Value hi, size_t col) const {
+  const ScanSpec spec = ScanSpec::Avg(lo, hi, col);
+  return ExecuteScan(spec).Result(spec.agg);
 }
 
 std::vector<uint64_t> CasperEngine::RunConcurrent(

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/mixed_workload_runner.h"
+#include "exec/scan_spec.h"
 #include "layouts/layout_engine.h"
 #include "layouts/layout_factory.h"
 #include "util/thread_pool.h"
@@ -54,11 +55,20 @@ class CasperEngine {
     return engine_->LookupBatch(keys, pool_);
   }
 
-  // (iii) Range search (fans out over shards when a pool is attached).
+  // (iii) Range search — the unified ScanSpec surface. ExecuteScan is the
+  // primitive (fans out over shards when a pool is attached); the named
+  // methods are thin spec-building facades, bit-identical to the primitive.
+  ScanPartial ExecuteScan(const ScanSpec& spec) const;
   uint64_t CountBetween(Value lo, Value hi) const;
   int64_t SumPayloadBetween(Value lo, Value hi, const std::vector<size_t>& cols) const;
   int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
                  Payload qty_max) const;
+  /// New aggregate classes: MIN/MAX of payload column `col` over [lo, hi)
+  /// (0 over an empty result set or a missing column) and the floored
+  /// integer average.
+  uint64_t MinBetween(Value lo, Value hi, size_t col) const;
+  uint64_t MaxBetween(Value lo, Value hi, size_t col) const;
+  uint64_t AvgBetween(Value lo, Value hi, size_t col) const;
 
   // (iv) Insert.
   void Insert(Value key, const std::vector<Payload>& payload) {

@@ -34,6 +34,20 @@ HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& op
   const bool parallel_reads = options.pool != nullptr;
   const ParallelExecutor exec(options.pool);
 
+  // One spec per aggregate shape for the whole replay — only the key range
+  // mutates per op, so the hot loop never re-allocates the column lists.
+  ScanSpec sum_spec = ScanSpec::Sum(0, 0, q3_cols);
+  ScanSpec min_spec = SpecForOperation({OpKind::kRangeMin, 0, 0}, q3_cols);
+  ScanSpec max_spec = SpecForOperation({OpKind::kRangeMax, 0, 0}, q3_cols);
+  ScanSpec avg_spec = SpecForOperation({OpKind::kRangeAvg, 0, 0}, q3_cols);
+  auto run_spec = [&](ScanSpec& spec, const Operation& op) {
+    spec.lo = op.a;
+    spec.hi = op.b;
+    return (parallel_reads ? exec.ExecuteScan(engine, spec)
+                           : engine.ExecuteScan(spec))
+        .Result(spec.agg);
+  };
+
   Stopwatch total;
   Stopwatch per_op;
   for (const Operation& op : ops) {
@@ -47,9 +61,16 @@ HarnessResult RunWorkload(LayoutEngine& engine, const std::vector<Operation>& op
                                           : engine.CountRange(op.a, op.b);
         break;
       case OpKind::kRangeSum:
-        result.checksum += static_cast<uint64_t>(
-            parallel_reads ? exec.SumPayloadRange(engine, op.a, op.b, q3_cols)
-                           : engine.SumPayloadRange(op.a, op.b, q3_cols));
+        result.checksum += run_spec(sum_spec, op);
+        break;
+      case OpKind::kRangeMin:
+        result.checksum += run_spec(min_spec, op);
+        break;
+      case OpKind::kRangeMax:
+        result.checksum += run_spec(max_spec, op);
+        break;
+      case OpKind::kRangeAvg:
+        result.checksum += run_spec(avg_spec, op);
         break;
       case OpKind::kInsert:
         if (options.key_derived_payload) {

@@ -8,32 +8,6 @@
 
 namespace casper {
 
-namespace {
-
-bool IsReadQuery(OpKind kind) {
-  return kind == OpKind::kPointQuery || kind == OpKind::kRangeCount ||
-         kind == OpKind::kRangeSum;
-}
-
-/// Serial reference replay: the exact values the harness computes.
-uint64_t SerialAnswer(const LayoutEngine& engine, const Operation& op,
-                      const std::vector<size_t>& sum_cols) {
-  switch (op.kind) {
-    case OpKind::kPointQuery:
-      return engine.PointLookup(op.a, nullptr);
-    case OpKind::kRangeCount:
-      return engine.CountRange(op.a, op.b);
-    case OpKind::kRangeSum:
-      return static_cast<uint64_t>(engine.SumPayloadRange(op.a, op.b, sum_cols));
-    default:
-      break;
-  }
-  CASPER_CHECK_MSG(false, "ConcurrentQueryRunner admits read-only queries");
-  return 0;
-}
-
-}  // namespace
-
 std::vector<uint64_t> ConcurrentQueryRunner::Run(
     const LayoutEngine& engine, const std::vector<Operation>& queries,
     const std::vector<size_t>& sum_cols) const {
@@ -41,47 +15,58 @@ std::vector<uint64_t> ConcurrentQueryRunner::Run(
   std::vector<uint64_t> results(q_count, 0);
   if (q_count == 0) return results;
   for (const Operation& op : queries) {
-    CASPER_CHECK_MSG(IsReadQuery(op.kind),
+    CASPER_CHECK_MSG(IsReadOnlyKind(op.kind),
                      "ConcurrentQueryRunner admits read-only queries");
   }
+
+  // One spec per range query, built up front and shared by every morsel of
+  // that query (point lookups keep their dedicated probe path).
+  std::vector<ScanSpec> specs(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    if (queries[q].kind != OpKind::kPointQuery) {
+      specs[q] = SpecForOperation(queries[q], sum_cols);
+    }
+  }
+  auto finish = [&](size_t q, const ScanPartial& merged) {
+    results[q] = queries[q].kind == OpKind::kPointQuery
+                     ? merged.count
+                     : merged.Result(specs[q].agg);
+  };
+
   if (pool_ == nullptr || pool_->num_threads() <= 1) {
+    // Serial replay: the engine's whole-scan path per query — bit-identical
+    // to the sharded merge below because ScanPartial merging is associative.
     for (size_t q = 0; q < q_count; ++q) {
-      results[q] = SerialAnswer(engine, queries[q], sum_cols);
+      if (queries[q].kind == OpKind::kPointQuery) {
+        results[q] = engine.PointLookup(queries[q].a, nullptr);
+      } else {
+        finish(q, engine.ExecuteScan(specs[q]));
+      }
     }
     return results;
   }
 
   // Per-query morsel queues: query q owns shards[q] morsels, a cursor, and a
-  // partials slot per morsel. Shard counts are sampled once up front — legal
-  // because the engine is quiescent (read-only) for the whole Run().
+  // ScanPartial slot per morsel. Shard counts are sampled once up front —
+  // legal because the engine is quiescent (read-only) for the whole Run().
   std::vector<size_t> shards(q_count);
-  std::vector<std::vector<int64_t>> partials(q_count);
+  std::vector<std::vector<ScanPartial>> partials(q_count);
   std::unique_ptr<std::atomic<size_t>[]> cursors(
       new std::atomic<size_t>[q_count]);
   size_t total_morsels = 0;
   for (size_t q = 0; q < q_count; ++q) {
     // Point lookups are a single probe; range queries fan over every shard.
     shards[q] = queries[q].kind == OpKind::kPointQuery ? 1 : engine.NumShards();
-    partials[q].assign(shards[q], 0);
+    partials[q].assign(shards[q], ScanPartial{});
     cursors[q].store(0, std::memory_order_relaxed);
     total_morsels += shards[q];
   }
 
   auto run_morsel = [&](size_t q, size_t s) {
-    const Operation& op = queries[q];
-    switch (op.kind) {
-      case OpKind::kPointQuery:
-        partials[q][0] = static_cast<int64_t>(engine.PointLookup(op.a, nullptr));
-        break;
-      case OpKind::kRangeCount:
-        partials[q][s] =
-            static_cast<int64_t>(engine.CountRangeShard(s, op.a, op.b));
-        break;
-      case OpKind::kRangeSum:
-        partials[q][s] = engine.SumPayloadRangeShard(s, op.a, op.b, sum_cols);
-        break;
-      default:
-        break;
+    if (queries[q].kind == OpKind::kPointQuery) {
+      partials[q][0].count = engine.PointLookup(queries[q].a, nullptr);
+    } else {
+      partials[q][s] = engine.ScanSpecShard(s, specs[q]);
     }
   };
 
@@ -104,17 +89,11 @@ std::vector<uint64_t> ConcurrentQueryRunner::Run(
   pool_->Wait();
 
   // Deterministic merge: partials folded in shard-index order per query —
-  // the same additions, in the same order, as the serial fan-out.
+  // the same merges, in the same order, as the serial fan-out.
   for (size_t q = 0; q < q_count; ++q) {
-    if (queries[q].kind == OpKind::kRangeSum) {
-      int64_t sum = 0;
-      for (const int64_t p : partials[q]) sum += p;
-      results[q] = static_cast<uint64_t>(sum);
-    } else {
-      uint64_t count = 0;
-      for (const int64_t p : partials[q]) count += static_cast<uint64_t>(p);
-      results[q] = count;
-    }
+    ScanPartial merged;
+    for (const ScanPartial& p : partials[q]) merged.Merge(p);
+    finish(q, merged);
   }
   return results;
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/scan_spec.h"
 #include "layouts/layout_engine.h"
 #include "storage/types.h"
 #include "workload/ops.h"
@@ -16,12 +17,15 @@ class ThreadPool;
 /// Inter-query parallelism over one layout engine: admits N independent
 /// read-only queries that share a single ThreadPool, instead of running one
 /// query at a time and leaving the pool idle between fan-outs. Safe because
-/// the whole read surface is now concurrent-clean — per-chunk access
-/// counters are relaxed atomics, and per-shard reads touch disjoint logical
-/// state.
+/// the whole read surface is concurrent-clean — per-chunk access counters
+/// are relaxed atomics, and per-shard reads touch disjoint logical state.
+///
+/// Every range read is one ScanSpec (point lookups keep their single-probe
+/// path), so the runner admits the full aggregate surface — count, sum,
+/// min/max/avg, and any predicate composition — through one morsel body.
 ///
 /// Scheduling: each query gets its own morsel queue (an atomic cursor over
-/// its shards) and its own partial-result slots. Workers rotate across the
+/// its shards) and its own ScanPartial slots. Workers rotate across the
 /// queries, starting at different offsets, claiming one morsel at a time —
 /// a wide scan cannot starve a point lookup, and a skewed shard stalls only
 /// the workers currently inside it. Every partial lands in slot (query,
@@ -40,16 +44,17 @@ class ConcurrentQueryRunner {
  public:
   explicit ConcurrentQueryRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
 
-  /// Executes the read-only queries (kPointQuery / kRangeCount / kRangeSum)
-  /// concurrently. results[i] is exactly what the serial harness computes
-  /// for queries[i]: the match count for point queries, the row count for
-  /// range counts, and static_cast<uint64_t>(sum) for range sums over
-  /// `sum_cols`. Any write kind in `queries` is a programming error.
+  /// Executes the read-only queries (kPointQuery plus every range-read
+  /// kind) concurrently. results[i] is exactly what the serial harness
+  /// computes for queries[i]: the match count for point queries and
+  /// ScanPartial::Result for range reads (row count, sum bit pattern,
+  /// min/max value, floored average) over `sum_cols`. Any write kind in
+  /// `queries` is a programming error.
   std::vector<uint64_t> Run(const LayoutEngine& engine,
                             const std::vector<Operation>& queries,
                             const std::vector<size_t>& sum_cols) const;
 
-  /// Same, summing over DefaultSumColumns(engine) for range sums.
+  /// Same, aggregating over DefaultSumColumns(engine).
   std::vector<uint64_t> Run(const LayoutEngine& engine,
                             const std::vector<Operation>& queries) const;
 

@@ -25,13 +25,11 @@ struct Item {
   size_t dep_count = 0;            ///< incoming edges (duplicates counted)
 };
 
-/// Generic two-pass deferred shard fan-out; Fold is called as fold(shard,
-/// partial) in strictly ascending shard order.
-template <typename ShardFn, typename Fold>
-void ForEachShardDeferred(const LayoutEngine& engine, const ShardFn& shard_fn,
-                          const Fold& fold) {
+}  // namespace
+
+ScanPartial ExecuteScanDeferred(const LayoutEngine& engine, const ScanSpec& spec) {
   const size_t shards = engine.NumShards();
-  std::vector<int64_t> partials(shards, 0);
+  std::vector<ScanPartial> partials(shards);
   std::vector<size_t> deferred;
   for (size_t s = 0; s < shards; ++s) {
     // Epoch sniff, seqlock-style: a shard whose domain hosts a writer right
@@ -40,33 +38,21 @@ void ForEachShardDeferred(const LayoutEngine& engine, const ShardFn& shard_fn,
       deferred.push_back(s);
       continue;
     }
-    partials[s] = shard_fn(s);
+    partials[s] = engine.ScanSpecShard(s, spec);
   }
-  for (const size_t s : deferred) partials[s] = shard_fn(s);
-  for (size_t s = 0; s < shards; ++s) fold(s, partials[s]);
+  for (const size_t s : deferred) partials[s] = engine.ScanSpecShard(s, spec);
+  ScanPartial total;
+  for (const ScanPartial& p : partials) total.Merge(p);
+  return total;
 }
 
-}  // namespace
-
 uint64_t CountRangeDeferred(const LayoutEngine& engine, Value lo, Value hi) {
-  uint64_t count = 0;
-  ForEachShardDeferred(
-      engine,
-      [&](size_t s) {
-        return static_cast<int64_t>(engine.CountRangeShard(s, lo, hi));
-      },
-      [&](size_t, int64_t p) { count += static_cast<uint64_t>(p); });
-  return count;
+  return ExecuteScanDeferred(engine, ScanSpec::Count(lo, hi)).count;
 }
 
 int64_t SumPayloadRangeDeferred(const LayoutEngine& engine, Value lo, Value hi,
                                 const std::vector<size_t>& cols) {
-  int64_t sum = 0;
-  ForEachShardDeferred(
-      engine,
-      [&](size_t s) { return engine.SumPayloadRangeShard(s, lo, hi, cols); },
-      [&](size_t, int64_t p) { sum += p; });
-  return sum;
+  return ExecuteScanDeferred(engine, ScanSpec::Sum(lo, hi, cols)).SumResult();
 }
 
 MixedResult MixedWorkloadRunner::Run(LayoutEngine& engine,
@@ -122,6 +108,16 @@ MixedResult MixedWorkloadRunner::Run(LayoutEngine& engine,
   const ChunkSnapshot snapshot =
       has_writes ? ChunkSnapshot{} : ChunkSnapshot::Capture(engine, oracle_);
 
+  // Specs for the range-read ops, built once on this (serial) setup path:
+  // workers only read them, so the concurrent phase never allocates or
+  // mutates shared spec state.
+  std::vector<ScanSpec> read_specs(ops.size());
+  for (uint32_t i = 0; i < ops.size(); ++i) {
+    if (!IsWriteKind(ops[i].kind) && ops[i].kind != OpKind::kPointQuery) {
+      read_specs[i] = SpecForOperation(ops[i], sum_cols);
+    }
+  }
+
   // --- 2. Per-op executors (shared by the serial and DAG paths). -----------
   std::atomic<size_t> inserts{0};
   std::atomic<size_t> deletes{0};
@@ -130,20 +126,15 @@ MixedResult MixedWorkloadRunner::Run(LayoutEngine& engine,
 
   auto run_read = [&](uint32_t i) {
     const Operation& op = ops[i];
-    switch (op.kind) {
-      case OpKind::kPointQuery:
-        result.results[i] = engine.PointLookup(op.a, nullptr);
-        break;
-      case OpKind::kRangeCount:
-        result.results[i] = CountRangeDeferred(engine, op.a, op.b);
-        break;
-      case OpKind::kRangeSum:
-        result.results[i] = static_cast<uint64_t>(
-            SumPayloadRangeDeferred(engine, op.a, op.b, sum_cols));
-        break;
-      default:
-        break;
+    if (op.kind == OpKind::kPointQuery) {
+      result.results[i] = engine.PointLookup(op.a, nullptr);
+      return;
     }
+    // Every range read — count, sum, min/max/avg — is one deferred spec
+    // fan-out; the per-op value uses the same Result extraction as the
+    // serial harness, so mixed results stay bit-identical to serial replay.
+    const ScanSpec& spec = read_specs[i];
+    result.results[i] = ExecuteScanDeferred(engine, spec).Result(spec.agg);
   };
   auto run_item = [&](const Item& item) {
     if (!item.is_write) {

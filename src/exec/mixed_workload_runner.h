@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/scan_spec.h"
 #include "layouts/layout_engine.h"
 #include "storage/types.h"
 #include "txn/mvcc.h"
@@ -73,9 +74,10 @@ class MixedWorkloadRunner {
                                TimestampOracle* oracle = nullptr)
       : pool_(pool), oracle_(oracle) {}
 
-  /// Executes the mixed stream. Admissible kinds: all six (reads overlap;
-  /// writes are grouped into runs). A null pool or single worker degrades to
-  /// a serial replay with identical results.
+  /// Executes the mixed stream. Admissible kinds: all of them — the point
+  /// and range reads (count/sum/min/max/avg as ScanSpecs) overlap; writes
+  /// are grouped into runs. A null pool or single worker degrades to a
+  /// serial replay with identical results.
   MixedResult Run(LayoutEngine& engine, const std::vector<Operation>& ops,
                   const std::vector<size_t>& sum_cols) const;
 
@@ -90,14 +92,16 @@ class MixedWorkloadRunner {
   TimestampOracle* oracle_;
 };
 
-/// Shard fan-out of one range count with epoch-based deferral: shards whose
+/// Shard fan-out of one ScanSpec with epoch-based deferral: shards whose
 /// latch domain currently has an exclusive writer (odd epoch) are deferred
-/// to a second pass instead of blocking on the latch; partials fold in shard
-/// order, so the answer equals CountRange(lo, hi) whenever no conflicting
-/// writer overlaps the call (the mixed runner's DAG guarantees that).
-uint64_t CountRangeDeferred(const LayoutEngine& engine, Value lo, Value hi);
+/// to a second pass instead of blocking on the latch; partials merge in
+/// shard order, so the answer equals ExecuteScan(spec) whenever no
+/// conflicting writer overlaps the call (the mixed runner's DAG guarantees
+/// that).
+ScanPartial ExecuteScanDeferred(const LayoutEngine& engine, const ScanSpec& spec);
 
-/// Same deferral pattern for SumPayloadRange.
+/// Legacy per-shape facades over ExecuteScanDeferred.
+uint64_t CountRangeDeferred(const LayoutEngine& engine, Value lo, Value hi);
 int64_t SumPayloadRangeDeferred(const LayoutEngine& engine, Value lo, Value hi,
                                 const std::vector<size_t>& cols);
 

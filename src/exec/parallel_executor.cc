@@ -4,49 +4,18 @@
 
 namespace casper {
 
-uint64_t ParallelExecutor::ScanAll(const LayoutEngine& engine) const {
-  // Predicate-free per-shard scans: covers the entire key domain, including
-  // rows keyed at kMinValue / kMaxValue that no half-open [lo, hi) range can
-  // express (the old CountRange(kMinValue + 1, kMaxValue) dropped them).
+ScanPartial ParallelExecutor::ExecuteScan(const LayoutEngine& engine,
+                                          const ScanSpec& spec) const {
+  if (pool_ == nullptr || pool_->num_threads() <= 1) {
+    // Serial: the engine's whole-scan path (one latch hold / whole-column
+    // windows where the layout provides them).
+    return engine.ExecuteScan(spec);
+  }
   const size_t shards = engine.NumShards();
-  const auto partials = exec::MorselMap<uint64_t>(
-      pool_, shards, [&](size_t s) { return engine.ScanShard(s); });
-  uint64_t total = 0;
-  for (const uint64_t p : partials) total += p;
-  return total;
-}
-
-uint64_t ParallelExecutor::CountRange(const LayoutEngine& engine, Value lo,
-                                      Value hi) const {
-  const size_t shards = engine.NumShards();
-  const auto partials = exec::MorselMap<uint64_t>(
-      pool_, shards, [&](size_t s) { return engine.CountRangeShard(s, lo, hi); });
-  uint64_t total = 0;
-  for (const uint64_t p : partials) total += p;
-  return total;
-}
-
-int64_t ParallelExecutor::SumPayloadRange(const LayoutEngine& engine, Value lo,
-                                          Value hi,
-                                          const std::vector<size_t>& cols) const {
-  const size_t shards = engine.NumShards();
-  const auto partials = exec::MorselMap<int64_t>(pool_, shards, [&](size_t s) {
-    return engine.SumPayloadRangeShard(s, lo, hi, cols);
-  });
-  int64_t total = 0;
-  for (const int64_t p : partials) total += p;
-  return total;
-}
-
-int64_t ParallelExecutor::TpchQ6(const LayoutEngine& engine, Value lo, Value hi,
-                                 Payload disc_lo, Payload disc_hi,
-                                 Payload qty_max) const {
-  const size_t shards = engine.NumShards();
-  const auto partials = exec::MorselMap<int64_t>(pool_, shards, [&](size_t s) {
-    return engine.TpchQ6Shard(s, lo, hi, disc_lo, disc_hi, qty_max);
-  });
-  int64_t total = 0;
-  for (const int64_t p : partials) total += p;
+  const auto partials = exec::MorselMap<ScanPartial>(
+      pool_, shards, [&](size_t s) { return engine.ScanSpecShard(s, spec); });
+  ScanPartial total;
+  for (const ScanPartial& p : partials) total.Merge(p);
   return total;
 }
 

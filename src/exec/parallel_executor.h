@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/scan_spec.h"
 #include "layouts/layout_engine.h"
 #include "storage/types.h"
 #include "workload/ops.h"
@@ -14,10 +15,12 @@ class ThreadPool;
 
 /// Morsel-driven intra-query parallelism over a layout engine's shards
 /// (paper §6.3: chunks are independent sub-problems — for execution as much
-/// as for layout solving). Each read query fans out over
-/// LayoutEngine::NumShards() via the shared morsel counter and merges the
-/// per-shard partials in index order, so the parallel answer is bit-identical
-/// to the serial one for any thread count or schedule.
+/// as for layout solving). Every read is one ScanSpec: ExecuteScan fans the
+/// spec over LayoutEngine::NumShards() via the shared morsel counter and
+/// merges the per-shard ScanPartials in index order, so the parallel answer
+/// is bit-identical to the serial one for any thread count or schedule —
+/// merging is associative (wrapping sums, commuting counts/min/max). The
+/// per-shape methods below are thin spec-building facades.
 ///
 /// The executor is a thin, copyable view: it owns no threads. A null pool
 /// (or a single-shard engine) degrades to the serial path. Writes stay
@@ -35,19 +38,32 @@ class ParallelExecutor {
  public:
   explicit ParallelExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
 
+  /// The one fan-out: evaluates `spec` over every shard (morsel-driven) and
+  /// merges partials in shard-index order.
+  ScanPartial ExecuteScan(const LayoutEngine& engine, const ScanSpec& spec) const;
+
   /// Full column scan: live rows visited, summed across shards.
-  uint64_t ScanAll(const LayoutEngine& engine) const;
+  uint64_t ScanAll(const LayoutEngine& engine) const {
+    return ExecuteScan(engine, ScanSpec::FullScan()).count;
+  }
 
   /// Q2 fan-out: COUNT(*) WHERE key in [lo, hi).
-  uint64_t CountRange(const LayoutEngine& engine, Value lo, Value hi) const;
+  uint64_t CountRange(const LayoutEngine& engine, Value lo, Value hi) const {
+    return ExecuteScan(engine, ScanSpec::Count(lo, hi)).count;
+  }
 
   /// Q3 fan-out: SUM over `cols` WHERE key in [lo, hi).
   int64_t SumPayloadRange(const LayoutEngine& engine, Value lo, Value hi,
-                          const std::vector<size_t>& cols) const;
+                          const std::vector<size_t>& cols) const {
+    return ExecuteScan(engine, ScanSpec::Sum(lo, hi, cols)).SumResult();
+  }
 
   /// TPC-H Q6 fan-out.
   int64_t TpchQ6(const LayoutEngine& engine, Value lo, Value hi, Payload disc_lo,
-                 Payload disc_hi, Payload qty_max) const;
+                 Payload disc_hi, Payload qty_max) const {
+    return ExecuteScan(engine, ScanSpec::Q6(lo, hi, disc_lo, disc_hi, qty_max))
+        .SumResult();
+  }
 
   /// Batched point lookups through the engine's chunk-grouped read path.
   void LookupBatch(const LayoutEngine& engine, const Value* keys, size_t n,

@@ -150,6 +150,20 @@ size_t FindFirstEqual(const Value* d, size_t n, Value v) {
   return n;
 }
 
+size_t FilterPayloadInRange(const Payload* col, const uint32_t* slots, size_t n,
+                            Payload lo, Payload hi, uint32_t* out) {
+  // Branch-free refine. Reading the slot before writing out[k] keeps the
+  // in-place (out == slots) case correct: k never exceeds i.
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = slots[i];
+    const Payload v = col[s];
+    out[k] = s;
+    k += static_cast<size_t>(v >= lo) & static_cast<size_t>(v <= hi);
+  }
+  return k;
+}
+
 uint64_t SumBytes(const uint8_t* d, size_t n) {
   uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
   size_t i = 0;
@@ -249,6 +263,11 @@ size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
 
 size_t FindFirstEqual(const Value* d, size_t n, Value v) {
   return CASPER_DISPATCH(FindFirstEqual, d, n, v);
+}
+
+size_t FilterPayloadInRange(const Payload* col, const uint32_t* slots, size_t n,
+                            Payload lo, Payload hi, uint32_t* out) {
+  return CASPER_DISPATCH(FilterPayloadInRange, col, slots, n, lo, hi, out);
 }
 
 uint64_t SumBytes(const uint8_t* d, size_t n) {

@@ -68,6 +68,16 @@ size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
 /// find-first probe (vector compare per block, early exit on the first hit).
 size_t FindFirstEqual(const Value* d, size_t n, Value v);
 
+/// Refines a slot list by a CLOSED payload predicate: writes slots[i] to out
+/// for every i with lo <= col[slots[i]] <= hi (unsigned u32 compare),
+/// preserving order; returns the number kept. `out` may alias `slots`. The
+/// 8-lane gather kernel behind ScanSpec payload-predicate evaluation — Q6's
+/// discount/quantity filters no longer run scalar per surviving slot. The
+/// bounds are inclusive on both ends because payload predicates are closed
+/// ranges (quantity < q becomes [0, q-1]); lo > hi keeps nothing.
+size_t FilterPayloadInRange(const Payload* col, const uint32_t* slots, size_t n,
+                            Payload lo, Payload hi, uint32_t* out);
+
 /// Sum of n bytes (tombstone-bitmap popcount: delete bitmaps store 0/1).
 uint64_t SumBytes(const uint8_t* d, size_t n);
 
@@ -111,6 +121,8 @@ size_t FilterSlots(const Value* d, size_t n, Value lo, Value hi, uint32_t base,
 size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
                         uint32_t* out);
 size_t FindFirstEqual(const Value* d, size_t n, Value v);
+size_t FilterPayloadInRange(const Payload* col, const uint32_t* slots, size_t n,
+                            Payload lo, Payload hi, uint32_t* out);
 uint64_t SumBytes(const uint8_t* d, size_t n);
 uint64_t CountU64InRange(const uint64_t* d, size_t n, uint64_t lo, uint64_t hi);
 }  // namespace scalar
@@ -132,6 +144,8 @@ size_t FilterSlots(const Value* d, size_t n, Value lo, Value hi, uint32_t base,
 size_t FilterSlotsEqual(const Value* d, size_t n, Value v, uint32_t base,
                         uint32_t* out);
 size_t FindFirstEqual(const Value* d, size_t n, Value v);
+size_t FilterPayloadInRange(const Payload* col, const uint32_t* slots, size_t n,
+                            Payload lo, Payload hi, uint32_t* out);
 uint64_t SumBytes(const uint8_t* d, size_t n);
 uint64_t CountU64InRange(const uint64_t* d, size_t n, uint64_t lo, uint64_t hi);
 }  // namespace avx2

@@ -212,6 +212,42 @@ size_t FindFirstEqual(const Value* d, size_t n, Value v) {
   return n;
 }
 
+size_t FilterPayloadInRange(const Payload* col, const uint32_t* slots, size_t n,
+                            Payload lo, Payload hi, uint32_t* out) {
+  // 8-lane gather refine: fetch col[slots[i]] for 8 slots at once, evaluate
+  // the closed unsigned range via min/max identities (v >= lo iff
+  // max_epu32(v, lo) == v; v <= hi iff min_epu32(v, hi) == v), then emit the
+  // surviving slots branch-free. In-place (out == slots) is safe: the 8
+  // slots are register-resident before any of the <= 8 writes at k <= i.
+  const __m256i vlo = _mm256_set1_epi32(static_cast<int>(lo));
+  const __m256i vhi = _mm256_set1_epi32(static_cast<int>(hi));
+  size_t k = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slots + i));
+    const __m256i v = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(col), idx, sizeof(Payload));
+    const __m256i ge_lo = _mm256_cmpeq_epi32(_mm256_max_epu32(v, vlo), v);
+    const __m256i le_hi = _mm256_cmpeq_epi32(_mm256_min_epu32(v, vhi), v);
+    const int mm = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_and_si256(ge_lo, le_hi)));
+    alignas(32) uint32_t lane[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane), idx);
+    for (size_t j = 0; j < 8; ++j) {
+      out[k] = lane[j];
+      k += static_cast<size_t>((mm >> j) & 1);
+    }
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = slots[i];
+    const Payload v = col[s];
+    out[k] = s;
+    k += static_cast<size_t>(v >= lo) & static_cast<size_t>(v <= hi);
+  }
+  return k;
+}
+
 uint64_t SumBytes(const uint8_t* d, size_t n) {
   const __m256i zero = _mm256_setzero_si256();
   __m256i acc = _mm256_setzero_si256();

@@ -64,100 +64,55 @@ size_t DeltaStoreLayout::PointLookupLocked(Value key,
   return count;
 }
 
-uint64_t DeltaStoreLayout::CountRange(Value lo, Value hi) const {
+ScanPartial DeltaStoreLayout::EvalMainWindowLocked(size_t first, size_t last,
+                                                   const ScanSpec& spec) const {
+  ScanPartial out;
+  if (first >= last) return out;
+  // Window rows already satisfy the key predicate; the tombstone bitmap
+  // drops deleted rows. Predicate-free counts reduce to window width minus
+  // the bitmap byte sum and predicate-free sums over a tombstone-free
+  // window to the unconditional vector sum — both are EvalSpecRows' own
+  // fast paths, so there is exactly one copy of that invariant.
+  exec::SpecRows rows;
+  rows.keys = main_keys_.data() + first;
+  rows.n = last - first;
+  rows.base = static_cast<uint32_t>(first);
+  rows.cols = &main_payload_;
+  // O(1) short-circuit for the common case (deletes are rare and merges
+  // compact them away): a store with no tombstones at all skips the
+  // per-window bitmap byte scans entirely.
+  rows.tombstones = main_live_ == main_keys_.size() ? nullptr : deleted_.data();
+  rows.key_check = false;
+  return exec::EvalSpecRows(spec, rows);
+}
+
+ScanPartial DeltaStoreLayout::EvalDeltaLocked(const ScanSpec& spec) const {
+  exec::SpecRows rows;
+  rows.keys = delta_keys_.data();
+  rows.n = delta_keys_.size();
+  rows.base = 0;
+  rows.cols = &delta_payload_;
+  return exec::EvalSpecRows(spec, rows);
+}
+
+ScanPartial DeltaStoreLayout::ExecuteScan(const ScanSpec& spec) const {
   SharedChunkGuard guard(engine_latch_);
-  const size_t first =
-      static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
-                          main_keys_.begin());
-  const size_t last = static_cast<size_t>(
-      std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
-                       main_keys_.end(), hi) -
-      main_keys_.begin());
-  // Live main rows = window width minus the tombstone-bitmap byte sum; the
-  // delta pass is one vector count over the unsorted buffer.
-  uint64_t count = (last - first) -
-                   kernels::SumBytes(deleted_.data() + first, last - first);
-  count += kernels::CountInRange(delta_keys_.data(), delta_keys_.size(), lo, hi);
-  return count;
-}
-
-int64_t DeltaStoreLayout::SumPayloadRange(Value lo, Value hi,
-                                          const std::vector<size_t>& cols) const {
-  SharedChunkGuard guard(engine_latch_);
-  const size_t first =
-      static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
-                          main_keys_.begin());
-  const size_t last = static_cast<size_t>(
-      std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
-                       main_keys_.end(), hi) -
-      main_keys_.begin());
-  uint64_t sum = SumMainPayloadRows(first, last, cols);
-  for (const size_t c : cols) {
-    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
-        delta_keys_.data(), delta_payload_[c].data(), delta_keys_.size(), lo, hi));
+  ScanPartial out;
+  if (!spec.RefsValid(main_payload_.size()) || spec.EmptyKeyRange()) return out;
+  if (spec.full_domain) {
+    out = EvalMainWindowLocked(0, main_keys_.size(), spec);
+  } else {
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(main_keys_.begin(), main_keys_.end(), spec.lo) -
+        main_keys_.begin());
+    const size_t last = static_cast<size_t>(
+        std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
+                         main_keys_.end(), spec.hi) -
+        main_keys_.begin());
+    out = EvalMainWindowLocked(first, last, spec);
   }
-  return static_cast<int64_t>(sum);
-}
-
-uint64_t DeltaStoreLayout::SumMainPayloadRows(
-    size_t first, size_t last, const std::vector<size_t>& cols) const {
-  uint64_t sum = 0;
-  // Tombstone-free windows (the common case: deletes are rare and merges
-  // compact them away) take the unconditional vector sum.
-  const bool has_tombstones =
-      main_live_ < main_keys_.size() &&
-      kernels::SumBytes(deleted_.data() + first, last - first) > 0;
-  for (const size_t c : cols) {
-    const Payload* col = main_payload_[c].data();
-    if (!has_tombstones) {
-      sum += static_cast<uint64_t>(kernels::SumPayload(col + first, last - first));
-    } else {
-      for (size_t i = first; i < last; ++i) {
-        if (!deleted_[i]) sum += col[i];
-      }
-    }
-  }
-  return sum;
-}
-
-int64_t DeltaStoreLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                                 Payload qty_max) const {
-  SharedChunkGuard guard(engine_latch_);
-  if (main_payload_.size() < 3) return 0;
-  const size_t first =
-      static_cast<size_t>(std::lower_bound(main_keys_.begin(), main_keys_.end(), lo) -
-                          main_keys_.begin());
-  const size_t last = static_cast<size_t>(
-      std::lower_bound(main_keys_.begin() + static_cast<ptrdiff_t>(first),
-                       main_keys_.end(), hi) -
-      main_keys_.begin());
-  int64_t sum = 0;
-  const auto& mq = main_payload_[0];
-  const auto& md = main_payload_[1];
-  const auto& mp = main_payload_[2];
-  for (size_t i = first; i < last; ++i) {
-    if (!deleted_[i] && md[i] >= disc_lo && md[i] <= disc_hi && mq[i] < qty_max) {
-      sum += static_cast<int64_t>(mp[i]) * md[i];
-    }
-  }
-  sum += TpchQ6DeltaLocked(lo, hi, disc_lo, disc_hi, qty_max);
-  return sum;
-}
-
-int64_t DeltaStoreLayout::TpchQ6DeltaLocked(Value lo, Value hi, Payload disc_lo,
-                                            Payload disc_hi,
-                                            Payload qty_max) const {
-  const Payload* dq = delta_payload_[0].data();
-  const Payload* dd = delta_payload_[1].data();
-  const Payload* dp = delta_payload_[2].data();
-  int64_t sum = 0;
-  kernels::ForEachQualifyingSlot(
-      delta_keys_.data(), delta_keys_.size(), lo, hi, 0, [&](uint32_t i) {
-        if (dd[i] >= disc_lo && dd[i] <= disc_hi && dq[i] < qty_max) {
-          sum += static_cast<int64_t>(dp[i]) * dd[i];
-        }
-      });
-  return sum;
+  out.Merge(EvalDeltaLocked(spec));
+  return out;
 }
 
 std::pair<size_t, size_t> DeltaStoreLayout::MainShardWindow(size_t shard, Value lo,
@@ -165,63 +120,23 @@ std::pair<size_t, size_t> DeltaStoreLayout::MainShardWindow(size_t shard, Value 
   return SortedShardWindow(main_keys_, kMainShardRows, shard, lo, hi);
 }
 
-uint64_t DeltaStoreLayout::ScanShard(size_t shard) const {
+ScanPartial DeltaStoreLayout::ScanSpecShard(size_t shard,
+                                            const ScanSpec& spec) const {
   SharedChunkGuard guard(engine_latch_);
+  if (!spec.RefsValid(main_payload_.size())) return ScanPartial{};
   if (shard < NumMainShards()) {
-    const size_t begin = shard * kMainShardRows;
-    if (begin >= main_keys_.size()) return 0;
-    const size_t end = std::min(main_keys_.size(), begin + kMainShardRows);
-    // Full-domain scan of the main window: width minus tombstones (no range
-    // predicate, so rows at both key-domain edges are covered).
-    return (end - begin) - kernels::SumBytes(deleted_.data() + begin, end - begin);
-  }
-  return delta_keys_.size();
-}
-
-uint64_t DeltaStoreLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
-  SharedChunkGuard guard(engine_latch_);
-  if (shard < NumMainShards()) {
-    const auto [first, last] = MainShardWindow(shard, lo, hi);
-    return (last - first) -
-           kernels::SumBytes(deleted_.data() + first, last - first);
-  }
-  return kernels::CountInRange(delta_keys_.data(), delta_keys_.size(), lo, hi);
-}
-
-int64_t DeltaStoreLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                                               const std::vector<size_t>& cols) const {
-  SharedChunkGuard guard(engine_latch_);
-  if (shard < NumMainShards()) {
-    const auto [first, last] = MainShardWindow(shard, lo, hi);
-    return static_cast<int64_t>(SumMainPayloadRows(first, last, cols));
-  }
-  uint64_t sum = 0;
-  for (const size_t c : cols) {
-    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
-        delta_keys_.data(), delta_payload_[c].data(), delta_keys_.size(), lo, hi));
-  }
-  return static_cast<int64_t>(sum);
-}
-
-int64_t DeltaStoreLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
-                                      Payload disc_lo, Payload disc_hi,
-                                      Payload qty_max) const {
-  SharedChunkGuard guard(engine_latch_);
-  if (main_payload_.size() < 3) return 0;
-  int64_t sum = 0;
-  if (shard < NumMainShards()) {
-    const auto [first, last] = MainShardWindow(shard, lo, hi);
-    const auto& mq = main_payload_[0];
-    const auto& md = main_payload_[1];
-    const auto& mp = main_payload_[2];
-    for (size_t i = first; i < last; ++i) {
-      if (!deleted_[i] && md[i] >= disc_lo && md[i] <= disc_hi && mq[i] < qty_max) {
-        sum += static_cast<int64_t>(mp[i]) * md[i];
-      }
+    if (spec.full_domain) {
+      // Full-domain window: no range predicate, so rows at both key-domain
+      // edges are covered; the tombstone bitmap is applied inside.
+      const size_t begin = shard * kMainShardRows;
+      if (begin >= main_keys_.size()) return ScanPartial{};
+      return EvalMainWindowLocked(
+          begin, std::min(main_keys_.size(), begin + kMainShardRows), spec);
     }
-    return sum;
+    const auto [first, last] = MainShardWindow(shard, spec.lo, spec.hi);
+    return EvalMainWindowLocked(first, last, spec);
   }
-  return TpchQ6DeltaLocked(lo, hi, disc_lo, disc_hi, qty_max);
+  return EvalDeltaLocked(spec);
 }
 
 void DeltaStoreLayout::Insert(Value key, const std::vector<Payload>& payload) {

@@ -31,11 +31,6 @@ class DeltaStoreLayout final : public LayoutEngine {
   LayoutMode mode() const override { return LayoutMode::kDeltaStore; }
 
   size_t PointLookup(Value key, std::vector<Payload>* payload) const override;
-  uint64_t CountRange(Value lo, Value hi) const override;
-  int64_t SumPayloadRange(Value lo, Value hi,
-                          const std::vector<size_t>& cols) const override;
-  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                 Payload qty_max) const override;
   void Insert(Value key, const std::vector<Payload>& payload) override;
   size_t Delete(Value key) override;
   bool UpdateKey(Value old_key, Value new_key) override;
@@ -62,6 +57,11 @@ class DeltaStoreLayout final : public LayoutEngine {
   void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr) override;
   using LayoutEngine::InsertRows;
 
+  /// Unified scan surface: one main-store pass (binary-searched window with
+  /// the delete bitmap applied) plus one delta pass, merged main-first like
+  /// every legacy read did.
+  ScanPartial ExecuteScan(const ScanSpec& spec) const override;
+
   // Sharded read surface: the main/delta pair is naturally parallel — the
   // sorted main store splits into fixed-width row windows (binary-searched
   // per shard like SortedLayout, with the delete bitmap applied), and the
@@ -72,12 +72,7 @@ class DeltaStoreLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return NumMainShards() + 1;  // + the delta sub-shard (may be empty)
   }
-  uint64_t ScanShard(size_t shard) const override;
-  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
-  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                               const std::vector<size_t>& cols) const override;
-  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
-                      Payload disc_hi, Payload qty_max) const override;
+  ScanPartial ScanSpecShard(size_t shard, const ScanSpec& spec) const override;
 
   size_t num_rows() const override;
   size_t num_payload_columns() const override { return main_payload_.size(); }
@@ -100,15 +95,14 @@ class DeltaStoreLayout final : public LayoutEngine {
   void MergeLocked();
   void MaybeMerge();
 
-  /// Payload sum over main-store rows [first, last): unconditional vector
-  /// sum when the window has no tombstones, bitmap-aware scalar otherwise.
-  uint64_t SumMainPayloadRows(size_t first, size_t last,
-                              const std::vector<size_t>& cols) const;
+  /// Spec evaluation over the pre-qualified main window [first, last) —
+  /// rows already satisfy the key predicate; the delete bitmap is applied
+  /// inside. Engine latch held.
+  ScanPartial EvalMainWindowLocked(size_t first, size_t last,
+                                   const ScanSpec& spec) const;
 
-  /// Q6 over the delta buffer (latch held): key predicate through the
-  /// FilterSlots kernel, payload predicates on the survivors.
-  int64_t TpchQ6DeltaLocked(Value lo, Value hi, Payload disc_lo,
-                            Payload disc_hi, Payload qty_max) const;
+  /// Spec evaluation over the unsorted delta buffer (latch held).
+  ScanPartial EvalDeltaLocked(const ScanSpec& spec) const;
 
   size_t NumMainShards() const {
     return main_keys_.empty()

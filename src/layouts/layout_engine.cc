@@ -17,7 +17,18 @@ std::vector<size_t> DefaultSumColumns(const LayoutEngine& engine) {
   return cols;
 }
 
-void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result) {
+ScanPartial LayoutEngine::ExecuteScan(const ScanSpec& spec) const {
+  // Index-order merge over the sharded surface; layouts with a cheaper
+  // whole-engine evaluation override this (the merge is associative, so the
+  // two paths are bit-identical).
+  ScanPartial total;
+  const size_t shards = NumShards();
+  for (size_t s = 0; s < shards; ++s) total.Merge(ScanSpecShard(s, spec));
+  return total;
+}
+
+void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result,
+                    const std::vector<size_t>& sum_cols) {
   switch (op.kind) {
     case OpKind::kPointQuery:
       result->query_checksum += engine.PointLookup(op.a, nullptr);
@@ -26,9 +37,13 @@ void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* resu
       result->query_checksum += engine.CountRange(op.a, op.b);
       break;
     case OpKind::kRangeSum:
-      result->query_checksum += static_cast<uint64_t>(
-          engine.SumPayloadRange(op.a, op.b, DefaultSumColumns(engine)));
+    case OpKind::kRangeMin:
+    case OpKind::kRangeMax:
+    case OpKind::kRangeAvg: {
+      const ScanSpec spec = SpecForOperation(op, sum_cols);
+      result->query_checksum += engine.ExecuteScan(spec).Result(spec.agg);
       break;
+    }
     case OpKind::kInsert: {
       std::vector<Payload> payload;
       KeyDerivedPayload(op.a, engine.num_payload_columns(), &payload);
@@ -43,6 +58,10 @@ void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* resu
       result->updates += engine.UpdateKey(op.a, op.b) ? 1 : 0;
       break;
   }
+}
+
+void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result) {
+  ApplyOperation(engine, op, result, DefaultSumColumns(engine));
 }
 
 void LayoutEngine::LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,
@@ -65,7 +84,8 @@ BatchResult LayoutEngine::ApplyBatch(const Operation* ops, size_t n,
   // Serial fallback: apply in order. Layouts with a routable write path
   // (partitioned, no-order, sorted, delta) override with grouped variants.
   BatchResult result;
-  for (size_t i = 0; i < n; ++i) ApplyOperation(*this, ops[i], &result);
+  const std::vector<size_t> sum_cols = DefaultSumColumns(*this);
+  for (size_t i = 0; i < n; ++i) ApplyOperation(*this, ops[i], &result, sum_cols);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/scan_spec.h"
 #include "storage/chunk_latch.h"
 #include "storage/types.h"
 #include "workload/ops.h"
@@ -84,19 +85,48 @@ class LayoutEngine {
   /// `payload` (may be nullptr) with the first match's payload columns.
   virtual size_t PointLookup(Value key, std::vector<Payload>* payload) const = 0;
 
+  // --- The unified scan/aggregate surface (exec/scan_spec.h) ---------------
+  // Every range read — count, sum, Q6, min/max/avg, full scans, and any
+  // composition of key range + payload predicates + aggregate — evaluates
+  // through this ONE pair of virtuals. The per-shape methods below are thin
+  // non-virtual wrappers that build specs; adding a query shape means
+  // building a spec value, not growing the virtual surface of six layouts.
+
+  /// Evaluates `spec` over the whole engine. The default merges
+  /// ScanSpecShard over every shard in index order; layouts with a cheaper
+  /// whole-engine path (one latch hold, whole-column binary search, the
+  /// compressed-column cache) override it — bit-identically, because
+  /// ScanPartial merging is associative.
+  virtual ScanPartial ExecuteScan(const ScanSpec& spec) const;
+
+  /// The shard-s slice of ExecuteScan: merging all shards (in any order)
+  /// reproduces the whole-engine answer. This is the one method every layout
+  /// must implement for the read surface.
+  virtual ScanPartial ScanSpecShard(size_t shard, const ScanSpec& spec) const = 0;
+
+  // --- Legacy per-shape wrappers (bit-identical spec facades) --------------
+
   /// Q2: SELECT count(*) WHERE a0 in [lo, hi).
-  virtual uint64_t CountRange(Value lo, Value hi) const = 0;
+  uint64_t CountRange(Value lo, Value hi) const {
+    return ExecuteScan(ScanSpec::Count(lo, hi)).count;
+  }
 
   /// Q3: SELECT sum(a_{c1} + a_{c2} + ...) WHERE a0 in [lo, hi).
-  virtual int64_t SumPayloadRange(Value lo, Value hi,
-                                  const std::vector<size_t>& cols) const = 0;
+  int64_t SumPayloadRange(Value lo, Value hi,
+                          const std::vector<size_t>& cols) const {
+    return ExecuteScan(ScanSpec::Sum(lo, hi, cols)).SumResult();
+  }
 
   /// TPC-H Q6 shape: SELECT sum(price * discount) WHERE a0 (shipdate) in
   /// [lo, hi) AND discount in [disc_lo, disc_hi] AND quantity < qty_max.
   /// Columns: 0 = quantity, 1 = discount, 2 = extended price (by convention
-  /// of the TPC-H-like workload; tables with fewer columns may return 0).
-  virtual int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                         Payload qty_max) const = 0;
+  /// of the TPC-H-like workload; tables with fewer columns return 0 — the
+  /// spec's column references fall out of range).
+  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
+                 Payload qty_max) const {
+    return ExecuteScan(ScanSpec::Q6(lo, hi, disc_lo, disc_hi, qty_max))
+        .SumResult();
+  }
 
   /// Q4: INSERT.
   virtual void Insert(Value key, const std::vector<Payload>& payload) = 0;
@@ -163,33 +193,31 @@ class LayoutEngine {
   /// concurrently.
   virtual size_t NumShards() const { return 1; }
 
-  /// Per-shard slice of CountRange. Summing over all shards (in any order)
-  /// equals CountRange(lo, hi). Default: single-shard passthrough.
-  virtual uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const {
-    return shard == 0 ? CountRange(lo, hi) : 0;
+  /// Per-shard slice of CountRange (spec facade over ScanSpecShard).
+  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const {
+    return ScanSpecShard(shard, ScanSpec::Count(lo, hi)).count;
   }
 
   /// Per-shard slice of SumPayloadRange.
-  virtual int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                                       const std::vector<size_t>& cols) const {
-    return shard == 0 ? SumPayloadRange(lo, hi, cols) : 0;
+  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
+                               const std::vector<size_t>& cols) const {
+    return ScanSpecShard(shard, ScanSpec::Sum(lo, hi, cols)).SumResult();
   }
 
   /// Per-shard slice of TpchQ6.
-  virtual int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
-                              Payload disc_hi, Payload qty_max) const {
-    return shard == 0 ? TpchQ6(lo, hi, disc_lo, disc_hi, qty_max) : 0;
+  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
+                      Payload disc_hi, Payload qty_max) const {
+    return ScanSpecShard(shard, ScanSpec::Q6(lo, hi, disc_lo, disc_hi, qty_max))
+        .SumResult();
   }
 
   /// Per-shard slice of a full scan: live rows visited in this shard, with
   /// NO range predicate — half-open [lo, hi) cannot express the full key
-  /// domain (hi would need kMaxValue + 1), so full scans get their own
-  /// virtual instead of the old CountRangeShard(kMinValue + 1, kMaxValue)
+  /// domain (hi would need kMaxValue + 1), so full scans evaluate a
+  /// full_domain spec instead of the old CountRange(kMinValue + 1, kMaxValue)
   /// approximation, which silently dropped rows keyed at either domain edge.
-  /// The default is only correct for engines that keep the single-shard
-  /// default of NumShards(); every sharded layout overrides it.
-  virtual uint64_t ScanShard(size_t shard) const {
-    return shard == 0 ? num_rows() : 0;
+  uint64_t ScanShard(size_t shard) const {
+    return ScanSpecShard(shard, ScanSpec::FullScan()).count;
   }
 
   // --- Batched read surface --------------------------------------------------
@@ -243,7 +271,13 @@ class LayoutEngine {
 /// Applies one operation through the per-op surface, folding the outcome
 /// into `result` exactly as ApplyBatch does (shared by the serial fallback,
 /// batch barriers, and equivalence tests). Inserts use KeyDerivedPayload;
-/// range sums aggregate DefaultSumColumns.
+/// range aggregates (sum/min/max/avg) use `sum_cols` — callers applying a
+/// whole batch compute it ONCE (DefaultSumColumns) and pass it through
+/// instead of re-deriving it per op.
+void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result,
+                    const std::vector<size_t>& sum_cols);
+
+/// Single-op convenience: derives DefaultSumColumns itself.
 void ApplyOperation(LayoutEngine& engine, const Operation& op, BatchResult* result);
 
 /// Payload columns aggregated by kRangeSum in batched execution: the first
@@ -287,6 +321,9 @@ BatchResult ApplyBatchInsertRuns(LayoutEngine& engine, const Operation* ops,
                                  size_t n, FlushFn&& flush_run,
                                  ThreadPool* pool = nullptr) {
   BatchResult result;
+  // One sum-column derivation per batch, shared by every range-aggregate
+  // barrier op (it used to be re-derived inside ApplyOperation per op).
+  const std::vector<size_t> sum_cols = DefaultSumColumns(engine);
   std::vector<Value> pending;
   std::vector<Value> pending_lookups;
   std::vector<uint64_t> counts;
@@ -317,7 +354,7 @@ BatchResult ApplyBatchInsertRuns(LayoutEngine& engine, const Operation* ops,
       default:
         flush_inserts();
         flush_lookups();
-        ApplyOperation(engine, ops[i], &result);
+        ApplyOperation(engine, ops[i], &result, sum_cols);
     }
   }
   flush_inserts();

@@ -40,88 +40,49 @@ CompressedChunkCache::ColumnPtr NoOrderLayout::CompressedColumn(
       });
 }
 
-uint64_t NoOrderLayout::CountRange(Value lo, Value hi) const {
+ScanPartial NoOrderLayout::ExecuteScan(const ScanSpec& spec) const {
+  // Whole-column evaluation under one latch hold (the morsel fan-out path
+  // goes shard-by-shard through ScanSpecShard instead).
   SharedChunkGuard guard(engine_latch_);
-  if (const auto col = CompressedColumn()) return col->CountRange(lo, hi);
-  return kernels::CountInRange(keys_.data(), keys_.size(), lo, hi);
+  return EvalRowsLocked(0, keys_.size(), spec, /*count_vote=*/true);
 }
 
-int64_t NoOrderLayout::SumPayloadRange(Value lo, Value hi,
-                                       const std::vector<size_t>& cols) const {
-  SharedChunkGuard guard(engine_latch_);
-  uint64_t sum = 0;
-  for (const size_t c : cols) {
-    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
-        keys_.data(), payload_[c].data(), keys_.size(), lo, hi));
-  }
-  return static_cast<int64_t>(sum);
-}
-
-int64_t NoOrderLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                              Payload qty_max) const {
-  SharedChunkGuard guard(engine_latch_);
-  return TpchQ6RowsLocked(0, keys_.size(), lo, hi, disc_lo, disc_hi, qty_max);
-}
-
-uint64_t NoOrderLayout::ScanShard(size_t shard) const {
-  SharedChunkGuard guard(engine_latch_);
-  const auto [begin, end] = MorselBounds(shard);
-  // Insertion order carries no key structure: every row in the morsel is
-  // live, and the full-domain scan visits all of them (both edges included).
-  return end - begin;
-}
-
-uint64_t NoOrderLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+ScanPartial NoOrderLayout::ScanSpecShard(size_t shard, const ScanSpec& spec) const {
   SharedChunkGuard guard(engine_latch_);
   const auto [begin, end] = MorselBounds(shard);
   // Shard 0 casts the query's single read-mostly vote (every fanned query
   // visits it exactly once); the other morsels only consume a cache hit.
-  if (const auto col = CompressedColumn(/*count_scan=*/shard == 0)) {
-    return col->CountRangeInRows(begin, end, lo, hi);
-  }
-  return kernels::CountInRange(keys_.data() + begin, end - begin, lo, hi);
+  return EvalRowsLocked(begin, end, spec, /*count_vote=*/shard == 0);
 }
 
-int64_t NoOrderLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                                            const std::vector<size_t>& cols) const {
-  SharedChunkGuard guard(engine_latch_);
-  const auto [begin, end] = MorselBounds(shard);
-  uint64_t sum = 0;
-  for (const size_t c : cols) {
-    sum += static_cast<uint64_t>(kernels::SumPayloadInRange(
-        keys_.data() + begin, payload_[c].data() + begin, end - begin, lo, hi));
-  }
-  return static_cast<int64_t>(sum);
-}
-
-int64_t NoOrderLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
-                                   Payload disc_lo, Payload disc_hi,
-                                   Payload qty_max) const {
-  SharedChunkGuard guard(engine_latch_);
-  const auto [begin, end] = MorselBounds(shard);
-  return TpchQ6RowsLocked(begin, end, lo, hi, disc_lo, disc_hi, qty_max);
-}
-
-int64_t NoOrderLayout::TpchQ6RowsLocked(size_t begin, size_t end, Value lo,
-                                        Value hi, Payload disc_lo,
-                                        Payload disc_hi, Payload qty_max) const {
-  if (payload_.size() < 3) return 0;
+ScanPartial NoOrderLayout::EvalRowsLocked(size_t begin, size_t end,
+                                          const ScanSpec& spec,
+                                          bool count_vote) const {
+  ScanPartial out;
+  if (!spec.RefsValid(payload_.size())) return out;
   end = std::min(end, keys_.size());
-  if (begin >= end) return 0;
-  const Payload* qty = payload_[0].data();
-  const Payload* disc = payload_[1].data();
-  const Payload* price = payload_[2].data();
-  int64_t sum = 0;
-  // Late materialization: vector-filter the key predicate, then run the
-  // payload predicates only on the qualifying slots.
-  kernels::ForEachQualifyingSlot(
-      keys_.data() + begin, end - begin, lo, hi, static_cast<uint32_t>(begin),
-      [&](uint32_t i) {
-        if (disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_max) {
-          sum += static_cast<int64_t>(price[i]) * disc[i];
-        }
-      });
-  return sum;
+  if (begin >= end) return out;
+  if (spec.predicates.empty() && spec.agg.kind == AggKind::kCount) {
+    if (spec.full_domain) {
+      // Insertion order carries no key structure: every row in the window is
+      // live, and the full-domain scan visits all of them (both edges
+      // included) without touching data or the compressed cache.
+      out.count = end - begin;
+      return out;
+    }
+    if (const auto col = CompressedColumn(count_vote)) {
+      out.count = (begin == 0 && end == keys_.size())
+                      ? col->CountRange(spec.lo, spec.hi)
+                      : col->CountRangeInRows(begin, end, spec.lo, spec.hi);
+      return out;
+    }
+  }
+  exec::SpecRows rows;
+  rows.keys = keys_.data() + begin;
+  rows.n = end - begin;
+  rows.base = static_cast<uint32_t>(begin);
+  rows.cols = &payload_;
+  return exec::EvalSpecRows(spec, rows);
 }
 
 void NoOrderLayout::LookupBatch(const Value* keys, size_t n, uint64_t* out_counts,

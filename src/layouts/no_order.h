@@ -20,14 +20,13 @@ class NoOrderLayout final : public LayoutEngine {
   LayoutMode mode() const override { return LayoutMode::kNoOrder; }
 
   size_t PointLookup(Value key, std::vector<Payload>* payload) const override;
-  uint64_t CountRange(Value lo, Value hi) const override;
-  int64_t SumPayloadRange(Value lo, Value hi,
-                          const std::vector<size_t>& cols) const override;
-  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                 Payload qty_max) const override;
   void Insert(Value key, const std::vector<Payload>& payload) override;
   size_t Delete(Value key) override;
   bool UpdateKey(Value old_key, Value new_key) override;
+
+  /// Unified scan surface: whole-column evaluation under one latch hold,
+  /// with the compressed-column cache answering predicate-free counts.
+  ScanPartial ExecuteScan(const ScanSpec& spec) const override;
 
   // Sharded read surface: fixed-width row morsels over the insertion-order
   // arrays (there is no key structure to shard by). NumShards latches shared
@@ -38,12 +37,7 @@ class NoOrderLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return keys_.empty() ? 1 : (keys_.size() + kMorselRows - 1) / kMorselRows;
   }
-  uint64_t ScanShard(size_t shard) const override;
-  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
-  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                               const std::vector<size_t>& cols) const override;
-  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
-                      Payload disc_hi, Payload qty_max) const override;
+  ScanPartial ScanSpecShard(size_t shard, const ScanSpec& spec) const override;
 
   /// Batched point lookups: one pass over the column answers the whole run
   /// (hash-grouped keys), O(rows + n) instead of n full scans.
@@ -67,6 +61,9 @@ class NoOrderLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return keys_.size();
   }
+  /// Raw key column (bench/test hook, like PartitionedTable::key_chunk):
+  /// bypasses the latch — callers must be quiescent.
+  const std::vector<Value>& raw_keys() const { return keys_; }
   size_t num_payload_columns() const override { return payload_.size(); }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
@@ -86,11 +83,12 @@ class NoOrderLayout final : public LayoutEngine {
   /// threshold (per-morsel shard scans vote once, via shard 0).
   CompressedChunkCache::ColumnPtr CompressedColumn(bool count_scan = true) const;
 
-  /// Q6 over the row window [begin, end), engine latch held: key-filter
-  /// through the FilterSlots kernel, payload predicates on the survivors.
-  int64_t TpchQ6RowsLocked(size_t begin, size_t end, Value lo, Value hi,
-                           Payload disc_lo, Payload disc_hi,
-                           Payload qty_max) const;
+  /// Spec evaluation over the row window [begin, end), engine latch held.
+  /// `count_vote` controls the compressed cache's read-mostly voting
+  /// (whole-column scans and shard 0 vote; the other morsels of a fanned
+  /// query only consume hits).
+  ScanPartial EvalRowsLocked(size_t begin, size_t end, const ScanSpec& spec,
+                             bool count_vote) const;
 
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;  // [col][row]

@@ -7,6 +7,9 @@ namespace casper {
 BatchResult PartitionedLayout::ApplyBatch(const Operation* ops, size_t n,
                                           ThreadPool* pool) {
   BatchResult result;
+  // One sum-column derivation per batch, shared by every range-aggregate
+  // barrier op in the stream.
+  const std::vector<size_t> sum_cols = DefaultSumColumns(*this);
   std::vector<PartitionedTable::BatchWrite> run;
   std::vector<Value> lookups;
   std::vector<uint64_t> counts;
@@ -52,7 +55,7 @@ BatchResult PartitionedLayout::ApplyBatch(const Operation* ops, size_t n,
         // Range queries and updates barrier both pending runs.
         flush_writes();
         flush_lookups();
-        ApplyOperation(*this, op, &result);
+        ApplyOperation(*this, op, &result, sum_cols);
     }
   }
   flush_writes();

@@ -23,17 +23,6 @@ class PartitionedLayout final : public LayoutEngine {
   size_t PointLookup(Value key, std::vector<Payload>* payload) const override {
     return table_.PointLookup(key, payload);
   }
-  uint64_t CountRange(Value lo, Value hi) const override {
-    return table_.CountRange(lo, hi);
-  }
-  int64_t SumPayloadRange(Value lo, Value hi,
-                          const std::vector<size_t>& cols) const override {
-    return table_.SumPayloadRange(lo, hi, cols);
-  }
-  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                 Payload qty_max) const override {
-    return table_.TpchQ6(lo, hi, disc_lo, disc_hi, qty_max);
-  }
   void Insert(Value key, const std::vector<Payload>& payload) override {
     table_.Insert(key, payload);
   }
@@ -65,19 +54,14 @@ class PartitionedLayout final : public LayoutEngine {
   // independent layout/tuning unit of paper §4.4, and here the independent
   // execution unit too).
   size_t NumShards() const override { return table_.num_chunks(); }
-  uint64_t ScanShard(size_t shard) const override {
-    return table_.ScanChunk(shard);
+  ScanPartial ScanSpecShard(size_t shard, const ScanSpec& spec) const override {
+    return table_.ScanSpecInChunk(shard, spec);
   }
-  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override {
-    return table_.CountRangeInChunk(shard, lo, hi);
-  }
-  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                               const std::vector<size_t>& cols) const override {
-    return table_.SumPayloadRangeInChunk(shard, lo, hi, cols);
-  }
-  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
-                      Payload disc_hi, Payload qty_max) const override {
-    return table_.TpchQ6InChunk(shard, lo, hi, disc_lo, disc_hi, qty_max);
+  /// Whole-engine path: the table's chunk walk with its serial early break
+  /// (narrow ranges stop at the first chunk above the range instead of
+  /// probing every chunk).
+  ScanPartial ExecuteScan(const ScanSpec& spec) const override {
+    return table_.ScanSpecAllChunks(spec);
   }
 
   /// Batched point lookups: routed once and probed chunk-by-chunk (pool

@@ -28,103 +28,55 @@ size_t SortedLayout::PointLookup(Value key, std::vector<Payload>* payload) const
   return count;
 }
 
-uint64_t SortedLayout::CountRange(Value lo, Value hi) const {
-  SharedChunkGuard guard(engine_latch_);
-  const auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
-  const auto last = std::lower_bound(first, keys_.end(), hi);
-  return static_cast<uint64_t>(last - first);
-}
-
-int64_t SortedLayout::SumPayloadRange(Value lo, Value hi,
-                                      const std::vector<size_t>& cols) const {
-  SharedChunkGuard guard(engine_latch_);
-  const size_t first =
-      static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), lo) -
-                          keys_.begin());
-  const size_t last = static_cast<size_t>(
-      std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(first), keys_.end(), hi) -
-      keys_.begin());
-  // Binary search already isolated the qualifying rows; the aggregation is
-  // an unconditional vector sum over each payload slice.
-  uint64_t sum = 0;
-  for (const size_t c : cols) {
-    sum += static_cast<uint64_t>(
-        kernels::SumPayload(payload_[c].data() + first, last - first));
-  }
-  return static_cast<int64_t>(sum);
-}
-
-int64_t SortedLayout::TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                             Payload qty_max) const {
-  SharedChunkGuard guard(engine_latch_);
-  if (payload_.size() < 3) return 0;
-  const size_t first =
-      static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), lo) -
-                          keys_.begin());
-  const size_t last = static_cast<size_t>(
-      std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(first), keys_.end(), hi) -
-      keys_.begin());
-  const auto& qty = payload_[0];
-  const auto& disc = payload_[1];
-  const auto& price = payload_[2];
-  int64_t sum = 0;
-  for (size_t i = first; i < last; ++i) {
-    if (disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_max) {
-      sum += static_cast<int64_t>(price[i]) * disc[i];
-    }
-  }
-  return sum;
-}
-
 std::pair<size_t, size_t> SortedLayout::ShardWindow(size_t shard, Value lo,
                                                     Value hi) const {
   return SortedShardWindow(keys_, kShardRows, shard, lo, hi);
 }
 
-uint64_t SortedLayout::ScanShard(size_t shard) const {
-  SharedChunkGuard guard(engine_latch_);
-  // Sorted rows are all live; the full-domain scan is the window width
-  // (binary-search layouts never touch data for pure counts — and unlike a
-  // [kMinValue + 1, kMaxValue) range, this includes both domain edges).
-  const size_t begin = shard * kShardRows;
-  if (begin >= keys_.size()) return 0;
-  return std::min(keys_.size(), begin + kShardRows) - begin;
+ScanPartial SortedLayout::EvalWindowLocked(size_t first, size_t last,
+                                           const ScanSpec& spec) const {
+  ScanPartial out;
+  if (!spec.RefsValid(payload_.size())) return out;
+  if (first >= last) return out;
+  // Binary search already isolated the qualifying rows, so evaluation runs
+  // with the key predicate resolved: counts are the window width, sums are
+  // unconditional vector sums, predicates filter within the window.
+  exec::SpecRows rows;
+  rows.keys = keys_.data() + first;
+  rows.n = last - first;
+  rows.base = static_cast<uint32_t>(first);
+  rows.cols = &payload_;
+  rows.key_check = false;
+  return exec::EvalSpecRows(spec, rows);
 }
 
-uint64_t SortedLayout::CountRangeShard(size_t shard, Value lo, Value hi) const {
+ScanPartial SortedLayout::ExecuteScan(const ScanSpec& spec) const {
   SharedChunkGuard guard(engine_latch_);
-  const auto [first, last] = ShardWindow(shard, lo, hi);
-  return static_cast<uint64_t>(last - first);
+  if (spec.full_domain) return EvalWindowLocked(0, keys_.size(), spec);
+  if (spec.EmptyKeyRange()) return ScanPartial{};
+  const size_t first =
+      static_cast<size_t>(std::lower_bound(keys_.begin(), keys_.end(), spec.lo) -
+                          keys_.begin());
+  const size_t last = static_cast<size_t>(
+      std::lower_bound(keys_.begin() + static_cast<ptrdiff_t>(first), keys_.end(),
+                       spec.hi) -
+      keys_.begin());
+  return EvalWindowLocked(first, last, spec);
 }
 
-int64_t SortedLayout::SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                                           const std::vector<size_t>& cols) const {
+ScanPartial SortedLayout::ScanSpecShard(size_t shard, const ScanSpec& spec) const {
   SharedChunkGuard guard(engine_latch_);
-  const auto [first, last] = ShardWindow(shard, lo, hi);
-  uint64_t sum = 0;
-  for (const size_t c : cols) {
-    sum += static_cast<uint64_t>(
-        kernels::SumPayload(payload_[c].data() + first, last - first));
+  if (spec.full_domain) {
+    // Sorted rows are all live; the full-domain window is the whole shard
+    // (unlike a [kMinValue + 1, kMaxValue) range, this includes both domain
+    // edges).
+    const size_t begin = shard * kShardRows;
+    if (begin >= keys_.size()) return ScanPartial{};
+    return EvalWindowLocked(begin, std::min(keys_.size(), begin + kShardRows),
+                            spec);
   }
-  return static_cast<int64_t>(sum);
-}
-
-int64_t SortedLayout::TpchQ6Shard(size_t shard, Value lo, Value hi,
-                                  Payload disc_lo, Payload disc_hi,
-                                  Payload qty_max) const {
-  SharedChunkGuard guard(engine_latch_);
-  if (payload_.size() < 3) return 0;
-  const auto [first, last] = ShardWindow(shard, lo, hi);
-  const auto& qty = payload_[0];
-  const auto& disc = payload_[1];
-  const auto& price = payload_[2];
-  int64_t sum = 0;
-  for (size_t i = first; i < last; ++i) {
-    if (disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_max) {
-      sum += static_cast<int64_t>(price[i]) * disc[i];
-    }
-  }
-  return sum;
+  const auto [first, last] = ShardWindow(shard, spec.lo, spec.hi);
+  return EvalWindowLocked(first, last, spec);
 }
 
 void SortedLayout::Insert(Value key, const std::vector<Payload>& payload) {

@@ -18,11 +18,6 @@ class SortedLayout final : public LayoutEngine {
   LayoutMode mode() const override { return LayoutMode::kSorted; }
 
   size_t PointLookup(Value key, std::vector<Payload>* payload) const override;
-  uint64_t CountRange(Value lo, Value hi) const override;
-  int64_t SumPayloadRange(Value lo, Value hi,
-                          const std::vector<size_t>& cols) const override;
-  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                 Payload qty_max) const override;
   void Insert(Value key, const std::vector<Payload>& payload) override;
   size_t Delete(Value key) override;
   bool UpdateKey(Value old_key, Value new_key) override;
@@ -40,22 +35,23 @@ class SortedLayout final : public LayoutEngine {
   void InsertRows(const Row* rows, size_t n, ThreadPool* pool = nullptr) override;
   using LayoutEngine::InsertRows;
 
+  /// Unified scan surface: the key range resolves to one whole-column
+  /// binary-searched window [first, last) — counts never touch data, sums
+  /// run the unconditional vector kernels, and payload predicates filter
+  /// within the pre-qualified window.
+  ScanPartial ExecuteScan(const ScanSpec& spec) const override;
+
   // Sharded read surface: the sorted run is range-split into fixed-width row
   // windows; each shard binary-searches the query bounds *within its own
   // window*, so the per-shard work is O(log w + qualifying rows) and the
-  // positional windows sum exactly to the serial answer — duplicate runs
+  // positional windows merge exactly to the serial answer — duplicate runs
   // straddling a split point are counted once per side, never twice.
   static constexpr size_t kShardRows = size_t{1} << 14;
   size_t NumShards() const override {
     SharedChunkGuard guard(engine_latch_);
     return keys_.empty() ? 1 : (keys_.size() + kShardRows - 1) / kShardRows;
   }
-  uint64_t ScanShard(size_t shard) const override;
-  uint64_t CountRangeShard(size_t shard, Value lo, Value hi) const override;
-  int64_t SumPayloadRangeShard(size_t shard, Value lo, Value hi,
-                               const std::vector<size_t>& cols) const override;
-  int64_t TpchQ6Shard(size_t shard, Value lo, Value hi, Payload disc_lo,
-                      Payload disc_hi, Payload qty_max) const override;
+  ScanPartial ScanSpecShard(size_t shard, const ScanSpec& spec) const override;
 
   size_t num_rows() const override {
     SharedChunkGuard guard(engine_latch_);
@@ -75,6 +71,11 @@ class SortedLayout final : public LayoutEngine {
   /// Qualifying row positions [first, last) of [lo, hi) inside this shard's
   /// window, found by binary search bounded to the window.
   std::pair<size_t, size_t> ShardWindow(size_t shard, Value lo, Value hi) const;
+
+  /// Spec evaluation over the pre-qualified sorted window [first, last)
+  /// (every row in it satisfies the key predicate); engine latch held.
+  ScanPartial EvalWindowLocked(size_t first, size_t last,
+                               const ScanSpec& spec) const;
 
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;

@@ -137,13 +137,19 @@ size_t PartitionedTable::PointLookup(Value key,
 }
 
 uint64_t PartitionedTable::CountRange(Value lo, Value hi) const {
-  if (lo >= hi) return 0;
-  uint64_t count = 0;
+  return ScanSpecAllChunks(ScanSpec::Count(lo, hi)).count;
+}
+
+ScanPartial PartitionedTable::ScanSpecAllChunks(const ScanSpec& spec) const {
+  ScanPartial out;
+  if (spec.EmptyKeyRange()) return out;
   for (size_t c = 0; c < chunks_.size(); ++c) {
-    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;  // entirely above
-    count += CountRangeInChunk(c, lo, hi);
+    // Serial early break: chunks hold ascending key ranges, so the first
+    // chunk entirely above the range ends the walk.
+    if (!spec.full_domain && c > 0 && chunk_uppers_[c - 1] >= spec.hi - 1) break;
+    out.Merge(ScanSpecInChunk(c, spec));
   }
-  return count;
+  return out;
 }
 
 uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const {
@@ -162,95 +168,64 @@ uint64_t PartitionedTable::ScanChunk(size_t c) const {
 
 int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
                                           const std::vector<size_t>& cols) const {
-  if (lo >= hi) return 0;
-  int64_t sum = 0;
-  for (size_t c = 0; c < chunks_.size(); ++c) {
-    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
-    sum += SumPayloadRangeInChunk(c, lo, hi, cols);
-  }
-  return sum;
+  return ScanSpecAllChunks(ScanSpec::Sum(lo, hi, cols)).SumResult();
 }
 
 int64_t PartitionedTable::SumPayloadRangeInChunk(
     size_t c, Value lo, Value hi, const std::vector<size_t>& cols) const {
-  if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
-  SharedChunkGuard guard(*latches_[c]);
-  const auto& chunk = chunks_[c].keys;
-  if (chunk.size() == 0) return 0;
-  uint64_t sum = 0;
-  const Value* keys = chunk.raw_data().data();
-  const size_t first = chunk.RoutePartition(lo);
-  const size_t last = chunk.RoutePartition(hi - 1);
-  for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
-    const auto& p = chunk.partition(t);
-    if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
-    // A boundary partition whose zone map sits inside [lo, hi) is consumed
-    // predicate-free, exactly like a middle partition (paper Fig. 3c).
-    const bool check = (t == first || t == last) &&
-                       !(p.min_val >= lo && p.max_val < hi);
-    for (const size_t col : cols) {
-      const Payload* data = chunks_[c].payload[col].data();
-      sum += static_cast<uint64_t>(
-          check ? kernels::SumPayloadInRange(keys + p.begin, data + p.begin,
-                                             p.size, lo, hi)
-                : kernels::SumPayload(data + p.begin, p.size));
-    }
-  }
-  return static_cast<int64_t>(sum);
+  // Facade over the generic per-chunk evaluator — ONE copy of the zone-map
+  // walk serves the table-level and layout-level read paths alike.
+  return ScanSpecInChunk(c, ScanSpec::Sum(lo, hi, cols)).SumResult();
 }
 
-int64_t PartitionedTable::TpchQ6(Value lo, Value hi, Payload disc_lo,
-                                 Payload disc_hi, Payload qty_max) const {
-  if (payload_cols_ < 3 || lo >= hi) return 0;
-  int64_t sum = 0;
-  for (size_t c = 0; c < chunks_.size(); ++c) {
-    if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
-    sum += TpchQ6InChunk(c, lo, hi, disc_lo, disc_hi, qty_max);
+ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) const {
+  ScanPartial out;
+  if (!spec.RefsValid(payload_cols_)) return out;
+  // The predicate-free count shape keeps its dedicated chunk path — it is
+  // the one with the compressed-cache answer and its stats accounting. (The
+  // predicate-free sum shape needs no special case: the general loop below
+  // reduces to the same zone-map walk + SumPayload kernels.)
+  if (spec.predicates.empty() && spec.agg.kind == AggKind::kCount) {
+    out.count = spec.full_domain ? ScanChunk(c)
+                                 : CountRangeInChunk(c, spec.lo, spec.hi);
+    return out;
   }
-  return sum;
-}
-
-int64_t PartitionedTable::TpchQ6InChunk(size_t c, Value lo, Value hi,
-                                        Payload disc_lo, Payload disc_hi,
-                                        Payload qty_max) const {
-  if (payload_cols_ < 3 || lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
+  // General composition: partition-by-partition with the zone-map logic of
+  // the legacy loops (skip excluded partitions, blind-consume fully
+  // qualifying ones), evaluating through the shared spec evaluator.
+  if (spec.EmptyKeyRange() ||
+      (!spec.full_domain && !ChunkOverlapsRange(c, spec.lo, spec.hi))) {
+    return out;
+  }
   SharedChunkGuard guard(*latches_[c]);
   const auto& chunk = chunks_[c].keys;
-  if (chunk.size() == 0) return 0;
-  int64_t sum = 0;
-  const Value* keys = chunk.raw_data().data();
-  const Payload* qty = chunks_[c].payload[0].data();
-  const Payload* disc = chunks_[c].payload[1].data();
-  const Payload* price = chunks_[c].payload[2].data();
-  const size_t first = chunk.RoutePartition(lo);
-  const size_t last = chunk.RoutePartition(hi - 1);
+  if (chunk.size() == 0) return out;
+  size_t first = 0;
+  size_t last = chunk.num_partitions() - 1;
+  if (!spec.full_domain) {
+    first = chunk.RoutePartition(spec.lo);
+    last = chunk.RoutePartition(spec.hi - 1);
+  }
   for (size_t t = first; t <= last && t < chunk.num_partitions(); ++t) {
     const auto& p = chunk.partition(t);
-    if (p.size == 0 || p.min_val >= hi || p.max_val < lo) continue;
-    const size_t begin = p.begin;
-    const size_t end = p.begin + p.size;
-    const bool check = (t == first || t == last) &&
-                       !(p.min_val >= lo && p.max_val < hi);
-    if (check) {
-      // Late materialization: the vector kernel selects key-qualifying
-      // slots, the payload predicate then runs only on the survivors.
-      kernels::ForEachQualifyingSlot(
-          keys + begin, p.size, lo, hi, static_cast<uint32_t>(begin),
-          [&](uint32_t s) {
-            if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
-              sum += static_cast<int64_t>(price[s]) * disc[s];
-            }
-          });
-    } else {
-      // Key predicate fully satisfied by the zone map: payload-only filter.
-      for (size_t s = begin; s < end; ++s) {
-        if (disc[s] >= disc_lo && disc[s] <= disc_hi && qty[s] < qty_max) {
-          sum += static_cast<int64_t>(price[s]) * disc[s];
-        }
-      }
+    if (p.size == 0) continue;
+    bool check = false;
+    if (!spec.full_domain) {
+      if (p.min_val >= spec.hi || p.max_val < spec.lo) continue;
+      // A boundary partition whose zone map sits inside [lo, hi) is consumed
+      // predicate-free, exactly like a middle partition (paper Fig. 3c).
+      check = (t == first || t == last) &&
+              !(p.min_val >= spec.lo && p.max_val < spec.hi);
     }
+    exec::SpecRows rows;
+    rows.keys = chunk.raw_data().data() + p.begin;
+    rows.n = p.size;
+    rows.base = static_cast<uint32_t>(p.begin);
+    rows.cols = &chunks_[c].payload;
+    rows.key_check = check;
+    out.Merge(exec::EvalSpecRows(spec, rows));
   }
-  return sum;
+  return out;
 }
 
 void PartitionedTable::LookupBatch(const Value* keys, size_t n,

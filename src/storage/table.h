@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/scan_spec.h"
 #include "storage/chunk_latch.h"
 #include "storage/column_chunk.h"
 #include "storage/compressed_cache.h"
@@ -69,14 +70,6 @@ class PartitionedTable {
   /// Sum of keys in [lo, hi) (single-column aggregate).
   int64_t SumKeysRange(Value lo, Value hi) const;
 
-  /// TPC-H Q6 shape with tight per-partition loops over the payload arrays:
-  /// SELECT sum(price * discount) WHERE key in [lo, hi) AND discount in
-  /// [disc_lo, disc_hi] AND quantity < qty_max, with columns
-  /// {0: quantity, 1: discount, 2: price}. Middle partitions skip the key
-  /// predicate entirely (they fully qualify, paper Fig. 3c).
-  int64_t TpchQ6(Value lo, Value hi, Payload disc_lo, Payload disc_hi,
-                 Payload qty_max) const;
-
   // --- Per-chunk read surface (morsel-driven execution) ----------------------
   // Each method is the chunk-c slice of the corresponding whole-table query:
   // summing over all chunks (in any order) reproduces the serial answer. A
@@ -101,9 +94,20 @@ class PartitionedTable {
   int64_t SumPayloadRangeInChunk(size_t c, Value lo, Value hi,
                                  const std::vector<size_t>& cols) const;
 
-  /// TPC-H Q6 shape, restricted to chunk c.
-  int64_t TpchQ6InChunk(size_t c, Value lo, Value hi, Payload disc_lo,
-                        Payload disc_hi, Payload qty_max) const;
+  /// The chunk-c slice of an arbitrary ScanSpec (exec/scan_spec.h) — the
+  /// generic per-chunk read behind LayoutEngine::ScanSpecShard (this is how
+  /// the Q6 shape and every other predicate/aggregate composition read the
+  /// table now). The predicate-free count shape keeps its dedicated path
+  /// above (compressed-cache answers, stats accounting); everything else
+  /// runs partition-by-partition with the same zone-map skip/blind-consume
+  /// logic, evaluating predicates and aggregates through the kernel layer.
+  ScanPartial ScanSpecInChunk(size_t c, const ScanSpec& spec) const;
+
+  /// Whole-table ScanSpec evaluation with the serial chunk walk's early
+  /// break (stop at the first chunk entirely above the range) — the
+  /// whole-engine read path of PartitionedLayout::ExecuteScan, and what the
+  /// whole-table CountRange / SumPayloadRange facades above reduce to.
+  ScanPartial ScanSpecAllChunks(const ScanSpec& spec) const;
 
   /// Batched point lookups (read-side mirror of ApplyWriteRun): routes the
   /// run once, groups keys by destination chunk, and probes chunk-by-chunk —

@@ -72,7 +72,12 @@ void WorkloadCapture::Route(const Operation& op, Emit&& emit) const {
       break;
     }
     case OpKind::kRangeCount:
-    case OpKind::kRangeSum: {
+    case OpKind::kRangeSum:
+    case OpKind::kRangeMin:
+    case OpKind::kRangeMax:
+    case OpKind::kRangeAvg: {
+      // Every range aggregate touches the same blocks as a range scan; the
+      // Frequency Model prices the access pattern, not the aggregate.
       if (op.b <= op.a) break;
       const Location first = Locate(op.a);
       const Location last = Locate(op.b - 1);

@@ -20,6 +20,12 @@ std::string_view OpKindName(OpKind kind) {
       return "Q5-delete";
     case OpKind::kUpdate:
       return "Q6-update";
+    case OpKind::kRangeMin:
+      return "Q7-min";
+    case OpKind::kRangeMax:
+      return "Q8-max";
+    case OpKind::kRangeAvg:
+      return "Q9-avg";
   }
   return "?";
 }
@@ -31,7 +37,13 @@ std::vector<Operation> GenerateWorkload(const WorkloadSpec& spec, size_t n, Rng&
   const double cum_pq = spec.mix.point_query;
   const double cum_rc = cum_pq + spec.mix.range_count;
   const double cum_rs = cum_rc + spec.mix.range_sum;
-  const double cum_in = cum_rs + spec.mix.insert;
+  // The aggregate classes slot in after the classic range reads; all-zero
+  // fractions collapse their thresholds, so legacy mixes draw identical
+  // streams from identical seeds.
+  const double cum_mn = cum_rs + spec.mix.range_min;
+  const double cum_mx = cum_mn + spec.mix.range_max;
+  const double cum_av = cum_mx + spec.mix.range_avg;
+  const double cum_in = cum_av + spec.mix.insert;
   const double cum_de = cum_in + spec.mix.del;
 
   const Value domain_width = spec.domain_hi - spec.domain_lo;
@@ -46,8 +58,12 @@ std::vector<Operation> GenerateWorkload(const WorkloadSpec& spec, size_t n, Rng&
     if (pick < cum_pq) {
       op.kind = OpKind::kPointQuery;
       op.a = spec.MapToDomain(spec.read_target->Sample(rng));
-    } else if (pick < cum_rc || pick < cum_rs) {
-      op.kind = pick < cum_rc ? OpKind::kRangeCount : OpKind::kRangeSum;
+    } else if (pick < cum_av) {
+      op.kind = pick < cum_rc   ? OpKind::kRangeCount
+                : pick < cum_rs ? OpKind::kRangeSum
+                : pick < cum_mn ? OpKind::kRangeMin
+                : pick < cum_mx ? OpKind::kRangeMax
+                                : OpKind::kRangeAvg;
       op.a = spec.MapToDomain(spec.read_target->Sample(rng));
       op.b = op.a + range_width;
       if (op.b > spec.domain_hi) {

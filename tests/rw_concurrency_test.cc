@@ -137,6 +137,13 @@ SerialRef SerialReplay(LayoutEngine& engine, const std::vector<Operation>& ops,
         ref.results[i] =
             static_cast<uint64_t>(engine.SumPayloadRange(op.a, op.b, cols));
         break;
+      case OpKind::kRangeMin:
+      case OpKind::kRangeMax:
+      case OpKind::kRangeAvg: {
+        const ScanSpec spec = SpecForOperation(op, cols);
+        ref.results[i] = engine.ExecuteScan(spec).Result(spec.agg);
+        break;
+      }
       case OpKind::kInsert:
         KeyDerivedPayload(op.a, engine.num_payload_columns(), &payload);
         engine.Insert(op.a, payload);
@@ -192,6 +199,74 @@ TEST(MixedWorkload, RunMatchesSerialReplayAcrossLayouts) {
     EXPECT_EQ(
         mixed_engine->SumPayloadRange(f.data.domain_lo, f.data.domain_hi + 1, cols),
         serial_engine->SumPayloadRange(f.data.domain_lo, f.data.domain_hi + 1, cols));
+    mixed_engine->ValidateInvariants();
+  }
+}
+
+// A min/max/avg-bearing mixed stream through the DAG scheduler: the new
+// aggregate op kinds interleave with write bursts and must stay bit-identical
+// to the serial replay (per-op results, aggregates, checksum, final state) —
+// the ScanSpec surface composes with the latch-footprint protocol.
+TEST(MixedWorkload, AggregateBearingStreamMatchesSerialReplay) {
+  const Fixture f = MakeFixture(20000, 47);
+  ThreadPool pool(4);
+  const MixedWorkloadRunner runner(&pool);
+  const std::vector<size_t> cols = {0, 1};
+
+  // Seeded stream over ALL read kinds (including min/max/avg) plus bursty
+  // writes, like MixedOps but aggregate-heavy.
+  Rng rng(515);
+  const Value lo = f.data.domain_lo;
+  const uint64_t span = static_cast<uint64_t>(f.data.domain_hi - lo) + 1;
+  std::vector<Operation> ops;
+  while (ops.size() < 500) {
+    Operation op;
+    const Value a = lo + static_cast<Value>(rng.Below(span));
+    const uint64_t pick = rng.Below(100);
+    if (pick < 55) {
+      op.kind = pick < 20   ? OpKind::kRangeMin
+                : pick < 40 ? OpKind::kRangeMax
+                            : OpKind::kRangeAvg;
+      op.a = a;
+      op.b = a + static_cast<Value>(rng.Below(span / 8 + 1)) + 1;
+      ops.push_back(op);
+    } else if (pick < 70) {
+      op.kind = OpKind::kRangeCount;
+      op.a = a;
+      op.b = a + static_cast<Value>(rng.Below(span / 8 + 1)) + 1;
+      ops.push_back(op);
+    } else {
+      const size_t burst = 1 + rng.Below(6);
+      for (size_t b = 0; b < burst && ops.size() < 500; ++b) {
+        Operation w;
+        w.a = lo + static_cast<Value>(rng.Below(span));
+        if (rng.Below(3) == 0) {
+          w.kind = OpKind::kDelete;
+        } else {
+          w.kind = OpKind::kInsert;
+        }
+        ops.push_back(w);
+      }
+    }
+  }
+
+  for (const LayoutMode mode : AllModes()) {
+    SCOPED_TRACE(LayoutModeName(mode));
+    auto mixed_engine = BuildMode(mode, f);
+    auto serial_engine = BuildMode(mode, f);
+
+    const SerialRef ref = SerialReplay(*serial_engine, ops, cols);
+    const MixedResult mixed = runner.Run(*mixed_engine, ops, cols);
+
+    ASSERT_EQ(mixed.results.size(), ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(mixed.results[i], ref.results[i])
+          << "op " << i << " kind " << OpKindName(ops[i].kind);
+    }
+    EXPECT_EQ(mixed.inserts, ref.inserts);
+    EXPECT_EQ(mixed.deletes, ref.deletes);
+    EXPECT_EQ(mixed.checksum, ref.checksum);
+    EXPECT_EQ(mixed_engine->num_rows(), serial_engine->num_rows());
     mixed_engine->ValidateInvariants();
   }
 }

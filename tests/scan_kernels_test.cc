@@ -5,7 +5,9 @@
 // 0..4097 (every SIMD width boundary and tail remainder), unaligned base
 // offsets, duplicate-heavy data, and both key-domain edges. CI runs this
 // binary under ASan+UBSan and TSan as well as Release.
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -136,6 +138,80 @@ TEST(ScanKernels, DispatchedMatchesScalarAcrossSizesAndOffsets) {
     ASSERT_EQ(kernels::CountU64InRange(u.data(), n, ulo, uhi),
               kernels::scalar::CountU64InRange(u.data(), n, ulo, uhi))
         << n;
+  }
+}
+
+// The ScanSpec payload-predicate kernel: dispatched gather refine == scalar
+// reference on random slot subsets (ascending, duplicate-free), with closed
+// unsigned bounds including 0 / UINT32_MAX edges and empty (lo > hi)
+// predicates — and in-place (out == slots) refinement is exact.
+TEST(ScanKernels, FilterPayloadInRangeMatchesScalarAcrossSizes) {
+  Rng rng(424242);
+  for (size_t n = 0; n <= 4097; n = n < 64 ? n + 1 : n + 29) {
+    // A payload column larger than the slot list; slots index into it.
+    const size_t col_size = 2 * n + 16;
+    std::vector<Payload> col(col_size);
+    for (auto& v : col) {
+      const uint64_t pick = rng.Below(50);
+      if (pick == 0) {
+        v = 0;
+      } else if (pick == 1) {
+        v = std::numeric_limits<Payload>::max();
+      } else {
+        v = static_cast<Payload>(rng.Below(10000));
+      }
+    }
+    // Ascending slot subset (every other slot, jittered start).
+    std::vector<uint32_t> slots;
+    for (size_t s = rng.Below(2); s < col_size && slots.size() < n; s += 2) {
+      slots.push_back(static_cast<uint32_t>(s));
+    }
+    Payload lo, hi;
+    const uint64_t bpick = rng.Below(10);
+    if (bpick == 0) {
+      lo = 0;
+      hi = static_cast<Payload>(rng.Below(10000));
+    } else if (bpick == 1) {
+      lo = static_cast<Payload>(rng.Below(10000));
+      hi = std::numeric_limits<Payload>::max();
+    } else if (bpick == 2) {
+      lo = 5000;  // empty predicate: lo > hi
+      hi = 4999;
+    } else {
+      const Payload a = static_cast<Payload>(rng.Below(12000));
+      const Payload b = static_cast<Payload>(rng.Below(12000));
+      lo = std::min(a, b);
+      hi = std::max(a, b);
+    }
+
+    std::vector<uint32_t> got(slots.size()), want(slots.size());
+    const size_t kg = kernels::FilterPayloadInRange(
+        col.data(), slots.data(), slots.size(), lo, hi, got.data());
+    const size_t kw = kernels::scalar::FilterPayloadInRange(
+        col.data(), slots.data(), slots.size(), lo, hi, want.data());
+    ASSERT_EQ(kg, kw) << n;
+    got.resize(kg);
+    want.resize(kw);
+    ASSERT_EQ(got, want) << n;
+
+    // In-place refine: out aliases slots.
+    std::vector<uint32_t> inplace = slots;
+    const size_t ki = kernels::FilterPayloadInRange(
+        col.data(), inplace.data(), inplace.size(), lo, hi, inplace.data());
+    ASSERT_EQ(ki, kw) << n;
+    inplace.resize(ki);
+    ASSERT_EQ(inplace, want) << n;
+
+#if defined(CASPER_AVX2)
+    if (kernels::HaveAvx2()) {
+      std::vector<uint32_t> simd(slots.size());
+      const size_t ks = kernels::avx2::FilterPayloadInRange(
+          col.data(), slots.data(), slots.size(), lo, hi, simd.data());
+      ASSERT_EQ(ks, kw) << n;
+      simd.resize(ks);
+      ASSERT_EQ(simd, want) << n;
+    }
+#endif
   }
 }
 

@@ -29,6 +29,75 @@ TEST(Generator, RespectsMixFractions) {
   EXPECT_EQ(counts[2] + counts[4] + counts[5], 0u);
 }
 
+TEST(Generator, RespectsMixFractionsWithAggregateKinds) {
+  WorkloadSpec spec;
+  spec.mix = {.point_query = 0.2,
+              .range_count = 0.1,
+              .insert = 0.25,
+              .range_min = 0.15,
+              .range_max = 0.15,
+              .range_avg = 0.15};
+  spec.domain_lo = 0;
+  spec.domain_hi = 100000;
+  Rng rng(4);
+  auto ops = GenerateWorkload(spec, 20000, rng);
+  std::array<size_t, kNumOpKinds> counts{};
+  for (const auto& op : ops) counts[static_cast<size_t>(op.kind)]++;
+  EXPECT_NEAR(counts[static_cast<size_t>(OpKind::kPointQuery)] / 20000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[static_cast<size_t>(OpKind::kRangeCount)] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[static_cast<size_t>(OpKind::kInsert)] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[static_cast<size_t>(OpKind::kRangeMin)] / 20000.0, 0.15, 0.02);
+  EXPECT_NEAR(counts[static_cast<size_t>(OpKind::kRangeMax)] / 20000.0, 0.15, 0.02);
+  EXPECT_NEAR(counts[static_cast<size_t>(OpKind::kRangeAvg)] / 20000.0, 0.15, 0.02);
+  EXPECT_EQ(counts[static_cast<size_t>(OpKind::kRangeSum)] +
+                counts[static_cast<size_t>(OpKind::kDelete)] +
+                counts[static_cast<size_t>(OpKind::kUpdate)],
+            0u);
+  // Aggregate reads are ranges: [a, b) with positive width, inside the
+  // domain, like every other range kind.
+  for (const auto& op : ops) {
+    if (op.kind == OpKind::kRangeMin || op.kind == OpKind::kRangeMax ||
+        op.kind == OpKind::kRangeAvg) {
+      EXPECT_LT(op.a, op.b);
+      EXPECT_GE(op.a, spec.domain_lo);
+      EXPECT_LE(op.b, spec.domain_hi);
+    }
+  }
+}
+
+TEST(Generator, AggregateBearingStreamIsDeterministic) {
+  WorkloadSpec spec;
+  spec.mix = {.point_query = 0.3,
+              .insert = 0.2,
+              .range_min = 0.2,
+              .range_max = 0.2,
+              .range_avg = 0.1};
+  spec.domain_lo = 0;
+  spec.domain_hi = 1 << 20;
+  Rng rng1(9), rng2(9);
+  auto a = GenerateWorkload(spec, 800, rng1);
+  auto b = GenerateWorkload(spec, 800, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+  }
+}
+
+TEST(Generator, ZeroAggregateFractionsPreserveLegacyStreams) {
+  // All-zero aggregate fractions collapse their cumulative thresholds, so a
+  // legacy mix must draw the exact same stream it always drew from a seed.
+  WorkloadSpec spec = hap::MakeSpec(hap::Workload::kHybridSkewed, 0, 1 << 20);
+  Rng rng(7);
+  auto ops = GenerateWorkload(spec, 500, rng);
+  for (const auto& op : ops) {
+    EXPECT_NE(op.kind, OpKind::kRangeMin);
+    EXPECT_NE(op.kind, OpKind::kRangeMax);
+    EXPECT_NE(op.kind, OpKind::kRangeAvg);
+  }
+}
+
 TEST(Generator, RangeWidthMatchesSelectivity) {
   WorkloadSpec spec;
   spec.mix = {.range_count = 1.0};
