@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/scan_kernels.h"
+
 namespace casper {
 
 DictionaryColumn::DictionaryColumn(const std::vector<Value>& values) {
@@ -17,28 +19,38 @@ DictionaryColumn::DictionaryColumn(const std::vector<Value>& values) {
   }
 }
 
-uint64_t DictionaryColumn::CountRange(Value lo, Value hi) const {
-  if (lo >= hi || dict_.empty()) return 0;
+bool DictionaryColumn::CodeRange(Value lo, Value hi, uint64_t* code_lo,
+                                 uint64_t* code_hi) const {
+  if (lo >= hi || dict_.empty()) return false;
   // Order-preserving dictionary: translate the value range to a code range.
-  const uint64_t code_lo = static_cast<uint64_t>(
+  *code_lo = static_cast<uint64_t>(
       std::lower_bound(dict_.begin(), dict_.end(), lo) - dict_.begin());
-  const uint64_t code_hi = static_cast<uint64_t>(
+  *code_hi = static_cast<uint64_t>(
       std::lower_bound(dict_.begin(), dict_.end(), hi) - dict_.begin());
-  if (code_lo >= code_hi) return 0;
-  uint64_t count = 0;
-  for (size_t i = 0; i < codes_.size(); ++i) {
-    const uint64_t c = codes_.Get(i);
-    count += (c >= code_lo && c < code_hi);
-  }
-  return count;
+  return *code_lo < *code_hi;
+}
+
+uint64_t DictionaryColumn::CountRange(Value lo, Value hi) const {
+  uint64_t code_lo = 0, code_hi = 0;
+  if (!CodeRange(lo, hi, &code_lo, &code_hi)) return 0;
+  // Scan-on-compressed: the predicate runs on the packed code words.
+  return kernels::CountPackedInRange(codes_.words(), 0, codes_.size(),
+                                     codes_.bit_width(), code_lo, code_hi);
 }
 
 void DictionaryColumn::CollectEqual(Value v, std::vector<uint32_t>* out) const {
   const auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
   if (it == dict_.end() || *it != v) return;
   const uint64_t code = static_cast<uint64_t>(it - dict_.begin());
-  for (size_t i = 0; i < codes_.size(); ++i) {
-    if (codes_.Get(i) == code) out->push_back(static_cast<uint32_t>(i));
+  // Packed point filter: [code, code] closed on the code words, blockwise.
+  constexpr size_t kBlock = 1024;
+  uint32_t slots[kBlock];
+  for (size_t off = 0; off < codes_.size(); off += kBlock) {
+    const size_t m = std::min(kBlock, codes_.size() - off);
+    const size_t k = kernels::FilterPackedPayloadInRange(
+        codes_.words(), off, off + m, codes_.bit_width(), code, code,
+        static_cast<uint32_t>(off), slots);
+    out->insert(out->end(), slots, slots + k);
   }
 }
 

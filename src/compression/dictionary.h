@@ -22,13 +22,32 @@ class DictionaryColumn {
   size_t dictionary_size() const { return dict_.size(); }
   unsigned bit_width() const { return codes_.bit_width(); }
 
-  /// Count of values in [lo, hi), evaluated on codes without decoding.
+  /// The common packed-column surface (shared with FrameOfReferenceColumn /
+  /// PackedPayloadColumn): raw code words for the packed scan kernels, plus
+  /// code-at-slot access. Scans never decode — they rewrite value predicates
+  /// into code ranges (CodeRange) and run on words().
+  const uint64_t* words() const { return codes_.words(); }
+  uint64_t CodeAt(size_t i) const { return codes_.Get(i); }
+
+  /// Rewrites the half-open value range [lo, hi) into the half-open code
+  /// range [*code_lo, *code_hi); false when no dictionary entry qualifies.
+  bool CodeRange(Value lo, Value hi, uint64_t* code_lo, uint64_t* code_hi) const;
+
+  /// Count of values in [lo, hi), evaluated on the packed codes without
+  /// decoding (kernels::CountPackedInRange over the rewritten code range).
   uint64_t CountRange(Value lo, Value hi) const;
 
   /// Positions of values equal to v (empty if v is not in the dictionary).
   void CollectEqual(Value v, std::vector<uint32_t>* out) const;
 
   std::vector<Value> DecodeAll() const;
+
+  /// Mean bits per stored value including the dictionary overhead.
+  double MeanBitsPerValue() const {
+    return size() == 0 ? 0.0
+                       : static_cast<double>(CompressedBytes()) * 8.0 /
+                             static_cast<double>(size());
+  }
 
   size_t CompressedBytes() const {
     return codes_.bytes() + dict_.size() * sizeof(Value);

@@ -5,12 +5,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "storage/types.h"
 #include "workload/ops.h"
 
 namespace casper {
+
+class PackedPayloadColumn;
 
 /// The unified scan/aggregate query surface (paper §6.4's generic
 /// storage-engine API, made composable): every read over a key range — full
@@ -229,6 +232,27 @@ struct SpecRows {
   const std::vector<std::vector<Payload>>* cols = nullptr;
   const uint8_t* tombstones = nullptr;  ///< nullable; 1 = deleted, by slot
   bool key_check = true;
+
+  /// Optional packed payload encodings for the run (from the chunk's
+  /// CompressedChunkCache snapshot): packed[c] is nullptr when column c
+  /// stayed raw. The run's rows must be POSITIONALLY DENSE in packed space —
+  /// slot `base + i` is packed row `packed_base + i` — which is what the
+  /// layouts' live-at-partition-head invariant (and the delta store's
+  /// slot-positional main encode) guarantees. Predicate-free sums scan
+  /// packed words with no materialization; predicated scans filter/refine in
+  /// the packed domain and aggregate from the raw arrays (late
+  /// materialization), so results stay bit-identical either way.
+  const std::vector<std::shared_ptr<const PackedPayloadColumn>>* packed =
+      nullptr;
+  size_t packed_base = 0;  ///< packed row position of slot `base`
+
+  /// Optional predicate override (zone-map blind consume): when
+  /// `preds_override` is true, evaluate `preds[0..npreds)` INSTEAD of
+  /// spec.predicates — the caller proved the dropped predicates hold for
+  /// every live row of this run (payload zone inside the predicate range).
+  const PredicateSpec* preds = nullptr;
+  size_t npreds = 0;
+  bool preds_override = false;
 };
 
 /// Evaluates `spec` over the run: vectorized fast paths for the predicate-

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/scan_kernels.h"
+#include "model/encoding_advisor.h"
 #include "util/status.h"
 
 namespace casper {
@@ -64,8 +65,31 @@ size_t DeltaStoreLayout::PointLookupLocked(Value key,
   return count;
 }
 
+CompressedChunkCache::EncodingPtr DeltaStoreLayout::CompressedMain(
+    bool count_scan) const {
+  if (!count_scan) return compressed_.Get(0, engine_latch_.Epoch());
+  return compressed_.GetOrBuild(
+      0, engine_latch_.Epoch(), main_keys_.size(),
+      [&]() -> CompressedChunkCache::EncodingPtr {
+        auto enc = std::make_shared<ChunkEncoding>();
+        enc->keys =
+            std::make_shared<FrameOfReferenceColumn>(main_keys_, size_t{4096});
+        // Positional encode, deleted slots included: values at tombstoned
+        // positions are junk the evaluator never consults (the tombstone
+        // filter precedes packed refinement), and including them keeps
+        // packed row == main-store position.
+        enc->payload.resize(main_payload_.size());
+        for (size_t c = 0; c < main_payload_.size(); ++c) {
+          enc->payload[c] = AdvisePayloadEncoding(main_payload_[c],
+                                                  /*reads=*/1, /*writes=*/0);
+        }
+        return enc;
+      });
+}
+
 ScanPartial DeltaStoreLayout::EvalMainWindowLocked(size_t first, size_t last,
-                                                   const ScanSpec& spec) const {
+                                                   const ScanSpec& spec,
+                                                   bool count_vote) const {
   ScanPartial out;
   if (first >= last) return out;
   // Window rows already satisfy the key predicate; the tombstone bitmap
@@ -83,6 +107,16 @@ ScanPartial DeltaStoreLayout::EvalMainWindowLocked(size_t first, size_t last,
   // per-window bitmap byte scans entirely.
   rows.tombstones = main_live_ == main_keys_.size() ? nullptr : deleted_.data();
   rows.key_check = false;
+  // Packed payload columns serve the main window directly (packed row ==
+  // main-store position); keep the snapshot alive across the evaluation.
+  CompressedChunkCache::EncodingPtr enc;
+  if (!spec.predicates.empty() || !spec.agg.cols.empty()) {
+    enc = CompressedMain(count_vote);
+    if (enc != nullptr) {
+      rows.packed = &enc->payload;
+      rows.packed_base = first;
+    }
+  }
   return exec::EvalSpecRows(spec, rows);
 }
 
@@ -131,10 +165,11 @@ ScanPartial DeltaStoreLayout::ScanSpecShard(size_t shard,
       const size_t begin = shard * kMainShardRows;
       if (begin >= main_keys_.size()) return ScanPartial{};
       return EvalMainWindowLocked(
-          begin, std::min(main_keys_.size(), begin + kMainShardRows), spec);
+          begin, std::min(main_keys_.size(), begin + kMainShardRows), spec,
+          /*count_vote=*/shard == 0);
     }
     const auto [first, last] = MainShardWindow(shard, spec.lo, spec.hi);
-    return EvalMainWindowLocked(first, last, spec);
+    return EvalMainWindowLocked(first, last, spec, /*count_vote=*/shard == 0);
   }
   return EvalDeltaLocked(spec);
 }
@@ -323,7 +358,7 @@ LayoutMemoryStats DeltaStoreLayout::MemoryStats() const {
   // Direct fields, not num_rows(): this method already holds the latch.
   s.data_bytes = (main_live_ + delta_keys_.size()) * row_bytes;
   s.total_bytes = (main_keys_.size() + delta_keys_.size()) * row_bytes +
-                  deleted_.size() * sizeof(uint8_t);
+                  deleted_.size() * sizeof(uint8_t) + compressed_.MemoryBytes();
   return s;
 }
 

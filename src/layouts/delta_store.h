@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "layouts/layout_engine.h"
+#include "storage/compressed_cache.h"
 
 namespace casper {
 
@@ -97,9 +98,18 @@ class DeltaStoreLayout final : public LayoutEngine {
 
   /// Spec evaluation over the pre-qualified main window [first, last) —
   /// rows already satisfy the key predicate; the delete bitmap is applied
-  /// inside. Engine latch held.
+  /// inside. Engine latch held. `count_vote` controls the compressed
+  /// cache's read-mostly voting (whole-store scans and main shard 0 vote).
   ScanPartial EvalMainWindowLocked(size_t first, size_t last,
-                                   const ScanSpec& spec) const;
+                                   const ScanSpec& spec,
+                                   bool count_vote = true) const;
+
+  /// Main-store encoding snapshot (slot 0). The main store is encoded
+  /// POSITIONALLY — deleted slots included — so packed row == main-store
+  /// position and the tombstone filter composes with packed refinement
+  /// unchanged. The delta buffer always stays raw (it exists to absorb
+  /// writes). Caller holds the engine latch shared.
+  CompressedChunkCache::EncodingPtr CompressedMain(bool count_scan) const;
 
   /// Spec evaluation over the unsorted delta buffer (latch held).
   ScanPartial EvalDeltaLocked(const ScanSpec& spec) const;
@@ -123,6 +133,9 @@ class DeltaStoreLayout final : public LayoutEngine {
   std::vector<Value> delta_keys_;
   std::vector<std::vector<Payload>> delta_payload_;
   uint64_t merges_ = 0;
+  /// One-slot cache over the main store; any write (even a delta append)
+  /// advances the engine epoch and invalidates it.
+  mutable CompressedChunkCache compressed_{1};
 };
 
 }  // namespace casper

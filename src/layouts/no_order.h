@@ -77,11 +77,12 @@ class NoOrderLayout final : public LayoutEngine {
     return {begin < keys_.size() ? begin : keys_.size(), end};
   }
 
-  /// Whole-column FoR encoding for count scans (slot 0), valid while the
-  /// engine-latch epoch is unchanged. Caller holds the engine latch shared.
-  /// count_scan=false consumes a hit without voting toward the build
-  /// threshold (per-morsel shard scans vote once, via shard 0).
-  CompressedChunkCache::ColumnPtr CompressedColumn(bool count_scan = true) const;
+  /// Whole-column encoding snapshot (FoR keys + advisor-chosen packed
+  /// payload columns, slot 0), valid while the engine-latch epoch is
+  /// unchanged. Caller holds the engine latch shared. count_scan=false
+  /// consumes a hit without voting toward the build threshold (per-morsel
+  /// shard scans vote once, via shard 0).
+  CompressedChunkCache::EncodingPtr CompressedColumn(bool count_scan = true) const;
 
   /// Spec evaluation over the row window [begin, end), engine latch held.
   /// `count_vote` controls the compressed cache's read-mostly voting

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/scan_kernels.h"
+#include "model/encoding_advisor.h"
 #include "util/status.h"
 
 namespace casper {
@@ -33,8 +34,29 @@ std::pair<size_t, size_t> SortedLayout::ShardWindow(size_t shard, Value lo,
   return SortedShardWindow(keys_, kShardRows, shard, lo, hi);
 }
 
+CompressedChunkCache::EncodingPtr SortedLayout::CompressedColumn(
+    bool count_scan) const {
+  if (!count_scan) return compressed_.Get(0, engine_latch_.Epoch());
+  return compressed_.GetOrBuild(
+      0, engine_latch_.Epoch(), keys_.size(),
+      [&]() -> CompressedChunkCache::EncodingPtr {
+        auto enc = std::make_shared<ChunkEncoding>();
+        // Sorted keys give narrow FoR frames; the frame column only carries
+        // the payoff gate and memory accounting here (counts stay on binary
+        // search), the packed payload columns carry the scan win.
+        enc->keys = std::make_shared<FrameOfReferenceColumn>(keys_, size_t{4096});
+        enc->payload.resize(payload_.size());
+        for (size_t c = 0; c < payload_.size(); ++c) {
+          enc->payload[c] =
+              AdvisePayloadEncoding(payload_[c], /*reads=*/1, /*writes=*/0);
+        }
+        return enc;
+      });
+}
+
 ScanPartial SortedLayout::EvalWindowLocked(size_t first, size_t last,
-                                           const ScanSpec& spec) const {
+                                           const ScanSpec& spec,
+                                           bool count_vote) const {
   ScanPartial out;
   if (!spec.RefsValid(payload_.size())) return out;
   if (first >= last) return out;
@@ -47,6 +69,17 @@ ScanPartial SortedLayout::EvalWindowLocked(size_t first, size_t last,
   rows.base = static_cast<uint32_t>(first);
   rows.cols = &payload_;
   rows.key_check = false;
+  // Sorted rows are dense: packed row == row position, so any cached packed
+  // payload column serves this window directly. Keep the snapshot alive
+  // across the evaluation (rows.packed points into it).
+  CompressedChunkCache::EncodingPtr enc;
+  if (!spec.predicates.empty() || !spec.agg.cols.empty()) {
+    enc = CompressedColumn(count_vote);
+    if (enc != nullptr) {
+      rows.packed = &enc->payload;
+      rows.packed_base = first;
+    }
+  }
   return exec::EvalSpecRows(spec, rows);
 }
 
@@ -73,10 +106,10 @@ ScanPartial SortedLayout::ScanSpecShard(size_t shard, const ScanSpec& spec) cons
     const size_t begin = shard * kShardRows;
     if (begin >= keys_.size()) return ScanPartial{};
     return EvalWindowLocked(begin, std::min(keys_.size(), begin + kShardRows),
-                            spec);
+                            spec, /*count_vote=*/shard == 0);
   }
   const auto [first, last] = ShardWindow(shard, spec.lo, spec.hi);
-  return EvalWindowLocked(first, last, spec);
+  return EvalWindowLocked(first, last, spec, /*count_vote=*/shard == 0);
 }
 
 void SortedLayout::Insert(Value key, const std::vector<Payload>& payload) {
@@ -185,7 +218,9 @@ LayoutMemoryStats SortedLayout::MemoryStats() const {
   LayoutMemoryStats s;
   s.data_bytes = keys_.size() * sizeof(Value) +
                  payload_.size() * keys_.size() * sizeof(Payload);
-  s.total_bytes = s.data_bytes;
+  // A live compressed encoding is real resident memory, same as the
+  // partitioned table's accounting.
+  s.total_bytes = s.data_bytes + compressed_.MemoryBytes();
   return s;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "layouts/layout_engine.h"
+#include "storage/compressed_cache.h"
 
 namespace casper {
 
@@ -74,11 +75,20 @@ class SortedLayout final : public LayoutEngine {
 
   /// Spec evaluation over the pre-qualified sorted window [first, last)
   /// (every row in it satisfies the key predicate); engine latch held.
-  ScanPartial EvalWindowLocked(size_t first, size_t last,
-                               const ScanSpec& spec) const;
+  /// `count_vote` controls the compressed cache's read-mostly voting
+  /// (whole-column scans and shard 0 vote; other morsels only consume hits).
+  ScanPartial EvalWindowLocked(size_t first, size_t last, const ScanSpec& spec,
+                               bool count_vote = true) const;
+
+  /// Whole-column encoding snapshot (slot 0): sorted rows are dense, so
+  /// packed row == row position. Caller holds the engine latch shared.
+  CompressedChunkCache::EncodingPtr CompressedColumn(bool count_scan) const;
 
   std::vector<Value> keys_;
   std::vector<std::vector<Payload>> payload_;
+  /// One-slot cache over the whole sorted run; epoch-invalidated by the
+  /// engine latch like every other layout's encodings.
+  mutable CompressedChunkCache compressed_{1};
 };
 
 }  // namespace casper

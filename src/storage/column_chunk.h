@@ -147,7 +147,10 @@ class PartitionedColumnChunk {
   Value domain_upper() const { return parts_.back().upper; }
 
   ChunkStats& stats() { return stats_; }
-  const ChunkStats& stats() const { return stats_; }
+  /// Read paths account their data movement too: the counters are mutable
+  /// relaxed atomics, so const callers (e.g. the table's spec evaluator
+  /// recording packed-payload scans and payload-zone prunes) may bump them.
+  ChunkStats& stats() const { return stats_; }
   /// One coherent copy of the counters (take between queries for exact
   /// totals; always safe to call, even mid-query).
   ChunkStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }

@@ -9,14 +9,68 @@
 #include <vector>
 
 #include "compression/frame_of_reference.h"
+#include "compression/packed_column.h"
 #include "storage/types.h"
 
 namespace casper {
 
-/// Lazy per-chunk frame-of-reference encodings for read-mostly chunks — the
-/// "compressed chunk scan" side of the scan-kernel layer (paper §6.2: the
-/// partitioning/compression synergy; ByteStore: base-layout kernel choice
-/// dominates hybrid throughput).
+/// Per-partition min/max of one payload column — the payload-side zone map.
+/// Computed for every column at encode time (even columns the advisor keeps
+/// raw), so predicated scans can skip or blind-consume whole partitions
+/// regardless of the physical encoding.
+struct PayloadZone {
+  Payload min = 0;
+  Payload max = 0;
+};
+
+/// One cache entry: everything the read paths can precompute for a chunk at
+/// one write epoch. The key frame (FoR over live keys, frames = partitions)
+/// plus one optional packed column per payload column, the packed-space
+/// prefix of live rows per partition (to map chunk partitions into packed
+/// row positions), and per-column/per-partition payload zone maps.
+struct ChunkEncoding {
+  std::shared_ptr<const FrameOfReferenceColumn> keys;
+  /// payload[c] is nullptr when the advisor kept column c raw.
+  std::vector<std::shared_ptr<const PackedPayloadColumn>> payload;
+  /// live_prefix[t] = live rows in partitions [0, t): the packed-space row
+  /// position where partition t's values start. Size = partitions + 1.
+  std::vector<size_t> live_prefix;
+  /// payload_zones[c][t] = min/max of column c within partition t (live rows
+  /// only; meaningless when the partition is empty). Empty when the chunk
+  /// has no payload columns.
+  std::vector<std::vector<PayloadZone>> payload_zones;
+
+  /// The packed column for `col`, or nullptr when it stayed raw.
+  const PackedPayloadColumn* packed(size_t col) const {
+    return col < payload.size() ? payload[col].get() : nullptr;
+  }
+
+  /// The payoff-gate statistic: the cache keys the whole snapshot on the key
+  /// column's compressibility (payload columns apply their own central gate
+  /// inside the encoding advisor before they are ever attached).
+  double MeanBitsPerValue() const {
+    return keys ? keys->MeanBitsPerValue() : 64.0;
+  }
+
+  size_t CompressedBytes() const {
+    size_t bytes = keys ? keys->CompressedBytes() : 0;
+    for (const auto& col : payload) {
+      if (col) bytes += col->CompressedBytes();
+    }
+    bytes += live_prefix.size() * sizeof(size_t);
+    for (const auto& zones : payload_zones) {
+      bytes += zones.size() * sizeof(PayloadZone);
+    }
+    return bytes;
+  }
+};
+
+/// Lazy per-chunk encodings for read-mostly chunks — the "compressed chunk
+/// scan" side of the scan-kernel layer (paper §6.2: the partitioning /
+/// compression synergy; ByteStore: base-layout kernel choice dominates
+/// hybrid throughput). A cache entry is a ChunkEncoding snapshot: the FoR
+/// key frame plus whatever per-column packed payloads the encoding advisor
+/// chose, all invalidated together by the chunk's epoch/latch.
 ///
 /// Policy:
 ///  - An encoding is built only after a chunk has been range-scanned
@@ -61,7 +115,7 @@ class CompressedChunkCache {
     unsigned max_churn_shift = 6;
   };
 
-  using ColumnPtr = std::shared_ptr<const FrameOfReferenceColumn>;
+  using EncodingPtr = std::shared_ptr<const ChunkEncoding>;
 
   CompressedChunkCache() = default;
   explicit CompressedChunkCache(size_t slots) { Reset(slots); }
@@ -86,7 +140,7 @@ class CompressedChunkCache {
   /// For read paths that should consume an existing encoding without voting
   /// to create one (e.g. per-morsel shard scans, which would otherwise
   /// inflate the scan counter by the fan-out width every query).
-  ColumnPtr Get(size_t slot, uint64_t epoch) const {
+  EncodingPtr Get(size_t slot, uint64_t epoch) const {
     const Entry& e = *entries_[slot];
     if (e.epoch.load(std::memory_order_acquire) != epoch) return nullptr;
     return std::atomic_load_explicit(&e.column, std::memory_order_acquire);
@@ -99,8 +153,8 @@ class CompressedChunkCache {
   /// Callers must hold the slot's chunk latch shared and pass that latch's
   /// current (necessarily even) epoch. The hit path takes no lock.
   template <typename EncodeFn>
-  ColumnPtr GetOrBuild(size_t slot, uint64_t epoch, size_t rows,
-                       EncodeFn&& encode) {
+  EncodingPtr GetOrBuild(size_t slot, uint64_t epoch, size_t rows,
+                         EncodeFn&& encode) {
     if (rows < config_.min_rows) return nullptr;
     Entry& e = *entries_[slot];
     if (e.epoch.load(std::memory_order_acquire) != epoch) {
@@ -116,14 +170,14 @@ class CompressedChunkCache {
             e.churn.load(std::memory_order_relaxed) < config_.max_churn_shift) {
           e.churn.fetch_add(1, std::memory_order_relaxed);
         }
-        std::atomic_store_explicit(&e.column, ColumnPtr(),
+        std::atomic_store_explicit(&e.column, EncodingPtr(),
                                    std::memory_order_release);
         e.rejected.store(false, std::memory_order_relaxed);
         e.scans.store(0, std::memory_order_relaxed);
         e.epoch.store(epoch, std::memory_order_release);  // publish last
       }
     }
-    if (ColumnPtr col =
+    if (EncodingPtr col =
             std::atomic_load_explicit(&e.column, std::memory_order_acquire)) {
       return col;  // lock-free hit
     }
@@ -134,12 +188,12 @@ class CompressedChunkCache {
       return nullptr;
     }
     std::lock_guard<std::mutex> lock(e.mu);
-    if (ColumnPtr col =
+    if (EncodingPtr col =
             std::atomic_load_explicit(&e.column, std::memory_order_acquire)) {
       return col;  // a peer built it while we waited
     }
     if (e.rejected.load(std::memory_order_relaxed)) return nullptr;
-    ColumnPtr built = encode();
+    EncodingPtr built = encode();
     if (built != nullptr && built->MeanBitsPerValue() > config_.max_mean_bits) {
       built = nullptr;  // doesn't compress: raw SIMD scan stays cheaper
     }
@@ -147,6 +201,13 @@ class CompressedChunkCache {
       e.rejected.store(true, std::memory_order_relaxed);
       return nullptr;
     }
+    // The encode ran outside the chunk latch's exclusive side only because
+    // callers hold it shared — but callers that release and re-acquire the
+    // latch around GetOrBuild (or encoders that read unlatched state) could
+    // race a write. Re-check the slot's epoch before publishing: if a write
+    // advanced it mid-encode, the snapshot may be torn, so neither publish
+    // nor serve it.
+    if (e.epoch.load(std::memory_order_acquire) != epoch) return nullptr;
     std::atomic_store_explicit(&e.column, built, std::memory_order_release);
     return built;
   }
@@ -155,7 +216,7 @@ class CompressedChunkCache {
   void Clear() {
     for (auto& e : entries_) {
       std::lock_guard<std::mutex> lock(e->mu);
-      std::atomic_store_explicit(&e->column, ColumnPtr(),
+      std::atomic_store_explicit(&e->column, EncodingPtr(),
                                  std::memory_order_release);
       e->scans.store(0, std::memory_order_relaxed);
       e->churn.store(0, std::memory_order_relaxed);
@@ -168,7 +229,7 @@ class CompressedChunkCache {
   size_t MemoryBytes() const {
     size_t bytes = 0;
     for (const auto& e : entries_) {
-      if (const ColumnPtr col = std::atomic_load_explicit(
+      if (const EncodingPtr col = std::atomic_load_explicit(
               &e->column, std::memory_order_acquire)) {
         bytes += col->CompressedBytes();
       }
@@ -194,7 +255,7 @@ class CompressedChunkCache {
     /// Build/reset serialization only; hits bypass it. `column` is accessed
     /// through the std::atomic_load/store shared_ptr free functions.
     mutable std::mutex mu;
-    ColumnPtr column;
+    EncodingPtr column;
   };
 
   Config config_;

@@ -1,8 +1,10 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
+#include "model/encoding_advisor.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -92,19 +94,66 @@ PartitionedTable PartitionedTable::Build(std::vector<Value> sorted_keys,
   return table;
 }
 
-CompressedChunkCache::ColumnPtr PartitionedTable::CompressedFor(size_t c) const {
+CompressedChunkCache::EncodingPtr PartitionedTable::CompressedFor(size_t c) const {
   // The shared latch (held by the caller) pins the epoch at an even value,
   // so an encoding built or fetched here cannot straddle a write.
-  // The compression-payoff gate lives in GetOrBuild; this lambda only
-  // extracts the chunk's live values (frames == partitions).
+  // The compression-payoff gate lives in GetOrBuild; this lambda extracts
+  // the chunk's live values (frames == partitions), asks the encoding
+  // advisor for a per-column payload encoding, and records the payload zone
+  // maps + live-row prefix that let scans prune and address packed rows.
   return compressed_.GetOrBuild(
       c, latches_[c]->Epoch(), chunks_[c].keys.size(),
-      [&]() -> CompressedChunkCache::ColumnPtr {
+      [&]() -> CompressedChunkCache::EncodingPtr {
         std::vector<Value> values;
         std::vector<size_t> frames;
-        chunks_[c].keys.LiveValues(&values, &frames);
+        const auto& chunk = chunks_[c].keys;
+        chunk.LiveValues(&values, &frames);
         if (values.empty()) return nullptr;
-        return std::make_shared<FrameOfReferenceColumn>(values, frames);
+        auto enc = std::make_shared<ChunkEncoding>();
+        enc->keys = std::make_shared<FrameOfReferenceColumn>(values, frames);
+
+        const size_t parts = chunk.num_partitions();
+        enc->live_prefix.resize(parts + 1);
+        size_t live = 0;
+        for (size_t t = 0; t < parts; ++t) {
+          enc->live_prefix[t] = live;
+          live += chunk.partition(t).size;
+        }
+        enc->live_prefix[parts] = live;
+
+        if (payload_cols_ > 0) {
+          // Scan/update mix from the counters the read and write paths
+          // already bump — the advisor keeps update-heavy chunks raw.
+          const ChunkStatsSnapshot snap = chunk.StatsSnapshot();
+          const uint64_t reads = snap.element_reads + snap.compressed_scans;
+          enc->payload.resize(payload_cols_);
+          enc->payload_zones.resize(payload_cols_);
+          std::vector<Payload> vals;
+          for (size_t col = 0; col < payload_cols_; ++col) {
+            const std::vector<Payload>& raw = chunks_[c].payload[col];
+            vals.clear();
+            vals.reserve(live);
+            auto& zones = enc->payload_zones[col];
+            zones.resize(parts);
+            for (size_t t = 0; t < parts; ++t) {
+              const auto& p = chunk.partition(t);
+              PayloadZone z;
+              if (p.size > 0) {
+                z.min = std::numeric_limits<Payload>::max();
+                for (size_t s = p.begin; s < p.begin + p.size; ++s) {
+                  const Payload v = raw[s];
+                  z.min = std::min(z.min, v);
+                  z.max = std::max(z.max, v);
+                  vals.push_back(v);
+                }
+              }
+              zones[t] = z;
+            }
+            enc->payload[col] =
+                AdvisePayloadEncoding(vals, reads, snap.element_writes);
+          }
+        }
+        return enc;
       });
 }
 
@@ -155,8 +204,8 @@ ScanPartial PartitionedTable::ScanSpecAllChunks(const ScanSpec& spec) const {
 uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const {
   if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
   SharedChunkGuard guard(*latches_[c]);
-  if (const auto col = CompressedFor(c)) {
-    return chunks_[c].keys.CountRangeCompressed(*col, lo, hi);
+  if (const auto enc = CompressedFor(c)) {
+    return chunks_[c].keys.CountRangeCompressed(*enc->keys, lo, hi);
   }
   return chunks_[c].keys.CountRange(lo, hi);
 }
@@ -200,6 +249,26 @@ ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) co
   SharedChunkGuard guard(*latches_[c]);
   const auto& chunk = chunks_[c].keys;
   if (chunk.size() == 0) return out;
+  // Scan-on-compressed: every spec that touches payload columns consults the
+  // chunk encoding cache (which votes toward / reuses the ChunkEncoding
+  // snapshot). When a referenced column is packed, the evaluator scans the
+  // packed words; the payload zone maps prune or blind-consume partitions
+  // even for columns the advisor kept raw.
+  const bool touches_payload =
+      !spec.predicates.empty() || !spec.agg.cols.empty();
+  const CompressedChunkCache::EncodingPtr enc =
+      touches_payload ? CompressedFor(c) : nullptr;
+  bool any_packed = false;
+  if (enc != nullptr) {
+    for (const PredicateSpec& pr : spec.predicates) {
+      any_packed = any_packed || enc->packed(pr.col) != nullptr;
+    }
+    for (const size_t col : spec.agg.cols) {
+      any_packed = any_packed || enc->packed(col) != nullptr;
+    }
+  }
+  constexpr size_t kMaxLocalPreds = 16;
+  PredicateSpec local_preds[kMaxLocalPreds];
   size_t first = 0;
   size_t last = chunk.num_partitions() - 1;
   if (!spec.full_domain) {
@@ -223,6 +292,40 @@ ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) co
     rows.base = static_cast<uint32_t>(p.begin);
     rows.cols = &chunks_[c].payload;
     rows.key_check = check;
+    if (enc != nullptr) {
+      // Payload zone maps (per-partition min/max per column): a predicate
+      // whose range is disjoint from the zone skips the partition without
+      // touching a value; a zone fully inside the predicate range proves the
+      // predicate for every live row, so it is dropped from this run
+      // (blind consume) via the override span.
+      if (!spec.predicates.empty() &&
+          spec.predicates.size() <= kMaxLocalPreds &&
+          !enc->payload_zones.empty()) {
+        bool skip = false;
+        size_t np = 0;
+        for (const PredicateSpec& pr : spec.predicates) {
+          const PayloadZone z = enc->payload_zones[pr.col][t];
+          if (pr.lo > pr.hi || z.min > pr.hi || z.max < pr.lo) {
+            skip = true;
+            break;
+          }
+          if (pr.lo <= z.min && z.max <= pr.hi) continue;  // always true
+          local_preds[np++] = pr;
+        }
+        if (skip) {
+          ++chunk.stats().payload_partitions_pruned;
+          continue;
+        }
+        if (np < spec.predicates.size()) {
+          rows.preds = local_preds;
+          rows.npreds = np;
+          rows.preds_override = true;
+        }
+      }
+      rows.packed = &enc->payload;
+      rows.packed_base = enc->live_prefix[t];
+      if (any_packed) ++chunk.stats().compressed_payload_scans;
+    }
     out.Merge(exec::EvalSpecRows(spec, rows));
   }
   return out;

@@ -233,10 +233,11 @@ class PartitionedTable {
                     const std::vector<Payload>* new_payload,
                     std::vector<Payload>* stash);
 
-  /// Chunk-c FoR encoding if cached and valid at the chunk's current epoch;
-  /// counts the scan (and maybe builds) otherwise. Caller holds the chunk
-  /// latch shared.
-  CompressedChunkCache::ColumnPtr CompressedFor(size_t c) const;
+  /// Chunk-c encoding snapshot (key frame + advisor-chosen packed payload
+  /// columns + payload zone maps) if cached and valid at the chunk's current
+  /// epoch; counts the scan (and maybe builds) otherwise. Caller holds the
+  /// chunk latch shared.
+  CompressedChunkCache::EncodingPtr CompressedFor(size_t c) const;
 
   Options opts_;
   size_t payload_cols_ = 0;

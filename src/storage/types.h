@@ -101,6 +101,8 @@ struct ChunkStatsSnapshot {
   uint64_t partitions_pruned = 0;
   uint64_t blocks_scanned = 0;
   uint64_t compressed_scans = 0;
+  uint64_t compressed_payload_scans = 0;
+  uint64_t payload_partitions_pruned = 0;
   uint64_t grows = 0;
 };
 
@@ -121,6 +123,12 @@ struct ChunkStats {
   RelaxedCounter blocks_scanned;     ///< sequential element batches read
   RelaxedCounter compressed_scans;   ///< range scans answered from the
                                      ///< compressed (FoR) chunk encoding
+  RelaxedCounter compressed_payload_scans;  ///< partition scans that read at
+                                            ///< least one packed (FoR/dict)
+                                            ///< payload column
+  RelaxedCounter payload_partitions_pruned;  ///< partitions skipped because a
+                                             ///< payload zone map excluded a
+                                             ///< predicate range
   RelaxedCounter grows;
 
   ChunkStatsSnapshot Snapshot() const {
@@ -132,6 +140,8 @@ struct ChunkStats {
     s.partitions_pruned = partitions_pruned.load();
     s.blocks_scanned = blocks_scanned.load();
     s.compressed_scans = compressed_scans.load();
+    s.compressed_payload_scans = compressed_payload_scans.load();
+    s.payload_partitions_pruned = payload_partitions_pruned.load();
     s.grows = grows.load();
     return s;
   }
@@ -144,6 +154,8 @@ struct ChunkStats {
     partitions_pruned.store(0);
     blocks_scanned.store(0);
     compressed_scans.store(0);
+    compressed_payload_scans.store(0);
+    payload_partitions_pruned.store(0);
     grows.store(0);
   }
 };

@@ -71,6 +71,71 @@ TEST(Dictionary, RangePredicatesOnCodes) {
   EXPECT_TRUE(pos.empty());
 }
 
+// Dictionary codec fuzz (scan-on-compressed ISSUE distributions): duplicate-
+// heavy, domain-edge, and single-value columns must round-trip exactly, and
+// the code-domain predicates (CountRange / CollectEqual, which run on the
+// packed words) must match a brute-force value-space reference.
+TEST(Dictionary, RoundTripFuzz) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 120; ++iter) {
+    const size_t n = 1 + rng.Below(800);
+    std::vector<Value> values;
+    values.reserve(n);
+    switch (iter % 3) {
+      case 0:  // duplicate-heavy: few distinct values, wide apart
+        for (size_t i = 0; i < n; ++i) {
+          values.push_back(static_cast<Value>(rng.Below(9)) * 1000003 - 4000000);
+        }
+        break;
+      case 1:  // domain edges spliced into a random column
+        for (size_t i = 0; i < n; ++i) {
+          const uint64_t pick = rng.Below(10);
+          if (pick == 0) {
+            values.push_back(kMinValue);
+          } else if (pick == 1) {
+            values.push_back(kMaxValue);
+          } else {
+            values.push_back(static_cast<Value>(rng.Below(100000)) - 50000);
+          }
+        }
+        break;
+      default:  // single value: bit width 0
+        values.assign(n, static_cast<Value>(rng.Below(1u << 20)));
+        break;
+    }
+    const DictionaryColumn dict(values);
+    ASSERT_EQ(dict.DecodeAll(), values) << iter;
+    for (int probe = 0; probe < 8; ++probe) {
+      const size_t i = rng.Below(n);
+      ASSERT_EQ(dict.Get(i), values[i]) << iter;
+    }
+
+    // Half-open range counts vs brute force, bounds around present values.
+    const Value a = values[rng.Below(n)];
+    const Value b = values[rng.Below(n)];
+    const Value lo = std::min(a, b);
+    const Value hi = std::max(a, b);  // may equal lo: empty half-open range
+    uint64_t want = 0;
+    for (const Value v : values) want += (lo <= v && v < hi) ? 1 : 0;
+    ASSERT_EQ(dict.CountRange(lo, hi), want) << iter;
+
+    // Equality positions for a present and an absent value.
+    std::vector<uint32_t> got, want_pos;
+    dict.CollectEqual(a, &got);
+    for (size_t i = 0; i < n; ++i) {
+      if (values[i] == a) want_pos.push_back(static_cast<uint32_t>(i));
+    }
+    ASSERT_EQ(got, want_pos) << iter;
+    got.clear();
+    dict.CollectEqual(kMaxValue - 12345, &got);  // (almost surely) absent
+    want_pos.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (values[i] == kMaxValue - 12345) want_pos.push_back(static_cast<uint32_t>(i));
+    }
+    ASSERT_EQ(got, want_pos) << iter;
+  }
+}
+
 TEST(FrameOfReference, RoundTrip) {
   Rng rng(4);
   std::vector<Value> values;
