@@ -9,6 +9,9 @@ namespace casper {
 std::shared_ptr<const PackedPayloadColumn> PackedPayloadColumn::Encode(
     const std::vector<Payload>& values, PayloadEncoding enc) {
   if (values.empty() || enc == PayloadEncoding::kRaw) return nullptr;
+  // make_shared cannot call the private constructor; the factory keeps the
+  // invariant that every published column is fully encoded.
+  // NOLINTNEXTLINE(modernize-make-shared)
   auto col = std::shared_ptr<PackedPayloadColumn>(new PackedPayloadColumn());
   col->enc_ = enc;
   if (enc == PayloadEncoding::kFrameOfReference) {

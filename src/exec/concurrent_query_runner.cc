@@ -1,8 +1,8 @@
 #include "exec/concurrent_query_runner.h"
 
-#include <atomic>
 #include <memory>
 
+#include "storage/types.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -51,14 +51,14 @@ std::vector<uint64_t> ConcurrentQueryRunner::Run(
   // legal because the engine is quiescent (read-only) for the whole Run().
   std::vector<size_t> shards(q_count);
   std::vector<std::vector<ScanPartial>> partials(q_count);
-  std::unique_ptr<std::atomic<size_t>[]> cursors(
-      new std::atomic<size_t>[q_count]);
+  // Work cursors: each worker claims distinct shard indices; no ordering
+  // with the scanned data is implied (the engine latches internally).
+  std::vector<RelaxedCounter> cursors(q_count);
   size_t total_morsels = 0;
   for (size_t q = 0; q < q_count; ++q) {
     // Point lookups are a single probe; range queries fan over every shard.
     shards[q] = queries[q].kind == OpKind::kPointQuery ? 1 : engine.NumShards();
     partials[q].assign(shards[q], ScanPartial{});
-    cursors[q].store(0, std::memory_order_relaxed);
     total_morsels += shards[q];
   }
 
@@ -79,7 +79,7 @@ std::vector<uint64_t> ConcurrentQueryRunner::Run(
       for (size_t step = 0; step < q_count; ++step) {
         const size_t q = (w + step) % q_count;
         for (;;) {
-          const size_t s = cursors[q].fetch_add(1, std::memory_order_relaxed);
+          const size_t s = cursors[q].FetchAdd(1);
           if (s >= shards[q]) break;
           run_morsel(q, s);
         }

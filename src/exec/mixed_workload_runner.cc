@@ -119,10 +119,12 @@ MixedResult MixedWorkloadRunner::Run(LayoutEngine& engine,
   }
 
   // --- 2. Per-op executors (shared by the serial and DAG paths). -----------
-  std::atomic<size_t> inserts{0};
-  std::atomic<size_t> deletes{0};
-  std::atomic<size_t> updates{0};
-  std::atomic<uint64_t> last_ts{0};
+  // Write accounting folded from concurrent items: pure counters, no
+  // ordering implied (the DAG dependency edges carry the happens-before).
+  RelaxedCounter inserts;
+  RelaxedCounter deletes;
+  RelaxedCounter updates;
+  RelaxedCounter last_ts;
 
   auto run_read = [&](uint32_t i) {
     const Operation& op = ops[i];
@@ -146,15 +148,11 @@ MixedResult MixedWorkloadRunner::Run(LayoutEngine& engine,
     const BatchResult br =
         engine.ApplyBatch(ops.data() + item.begin, item.end - item.begin,
                           /*pool=*/nullptr);
-    inserts.fetch_add(br.inserts, std::memory_order_relaxed);
-    deletes.fetch_add(br.deletes, std::memory_order_relaxed);
-    updates.fetch_add(br.updates, std::memory_order_relaxed);
+    inserts.Add(br.inserts);
+    deletes.Add(br.deletes);
+    updates.Add(br.updates);
     if (oracle_ != nullptr) {
-      const uint64_t ts = oracle_->Next();
-      uint64_t prev = last_ts.load(std::memory_order_relaxed);
-      while (prev < ts &&
-             !last_ts.compare_exchange_weak(prev, ts, std::memory_order_relaxed)) {
-      }
+      last_ts.UpdateMax(oracle_->Next());
     }
   };
 

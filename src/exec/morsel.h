@@ -1,10 +1,10 @@
 #ifndef CASPER_EXEC_MORSEL_H_
 #define CASPER_EXEC_MORSEL_H_
 
-#include <atomic>
 #include <cstddef>
 #include <vector>
 
+#include "storage/types.h"
 #include "util/thread_pool.h"
 
 namespace casper::exec {
@@ -26,12 +26,12 @@ std::vector<T> MorselMap(ThreadPool* pool, size_t n, const Fn& fn) {
     for (size_t i = 0; i < n; ++i) partials[i] = fn(i);
     return partials;
   }
-  std::atomic<size_t> next{0};
+  RelaxedCounter next;  // work cursor: distinct indices, no ordering implied
   const size_t workers = pool->num_threads() < n ? pool->num_threads() : n;
   for (size_t w = 0; w < workers; ++w) {
     pool->Submit([&partials, &next, n, &fn] {
       for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        const size_t i = next.FetchAdd(1);
         if (i >= n) return;
         partials[i] = fn(i);
       }

@@ -14,6 +14,7 @@ DeltaStoreLayout::DeltaStoreLayout(std::vector<Value> keys,
                                    std::vector<std::vector<Payload>> payload,
                                    Options options)
     : opts_(options),
+      payload_cols_(payload.size()),
       main_keys_(std::move(keys)),
       main_payload_(std::move(payload)),
       deleted_(main_keys_.size(), 0),
@@ -71,6 +72,9 @@ CompressedChunkCache::EncodingPtr DeltaStoreLayout::CompressedMain(
   return compressed_.GetOrBuild(
       0, engine_latch_.Epoch(), main_keys_.size(),
       [&]() -> CompressedChunkCache::EncodingPtr {
+        // The analysis can't see through GetOrBuild that this callback runs
+        // on the caller's thread with the engine latch still held shared.
+        engine_latch_.AssertReaderHeld();
         auto enc = std::make_shared<ChunkEncoding>();
         enc->keys =
             std::make_shared<FrameOfReferenceColumn>(main_keys_, size_t{4096});

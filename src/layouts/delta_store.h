@@ -76,13 +76,19 @@ class DeltaStoreLayout final : public LayoutEngine {
   ScanPartial ScanSpecShard(size_t shard, const ScanSpec& spec) const override;
 
   size_t num_rows() const override;
-  size_t num_payload_columns() const override { return main_payload_.size(); }
+  size_t num_payload_columns() const override { return payload_cols_; }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
 
   /// Merges performed so far (delta integrations back into the main store).
-  uint64_t merge_count() const { return merges_; }
-  size_t delta_size() const { return delta_keys_.size(); }
+  uint64_t merge_count() const {
+    SharedChunkGuard guard(engine_latch_);
+    return merges_;
+  }
+  size_t delta_size() const {
+    SharedChunkGuard guard(engine_latch_);
+    return delta_keys_.size();
+  }
 
   /// Force a merge now (also used internally when the delta fills up).
   void Merge();
@@ -90,49 +96,58 @@ class DeltaStoreLayout final : public LayoutEngine {
  private:
   // Latch-free internals; public wrappers hold the engine latch (UpdateKey
   // composes lookup + delete + insert under one exclusive hold).
-  size_t PointLookupLocked(Value key, std::vector<Payload>* payload) const;
-  void InsertLocked(Value key, const std::vector<Payload>& payload);
-  size_t DeleteLocked(Value key);
-  void MergeLocked();
-  void MaybeMerge();
+  size_t PointLookupLocked(Value key, std::vector<Payload>* payload) const
+      REQUIRES_SHARED(engine_latch_);
+  void InsertLocked(Value key, const std::vector<Payload>& payload)
+      REQUIRES(engine_latch_);
+  size_t DeleteLocked(Value key) REQUIRES(engine_latch_);
+  void MergeLocked() REQUIRES(engine_latch_);
+  void MaybeMerge() REQUIRES(engine_latch_);
 
   /// Spec evaluation over the pre-qualified main window [first, last) —
   /// rows already satisfy the key predicate; the delete bitmap is applied
-  /// inside. Engine latch held. `count_vote` controls the compressed
-  /// cache's read-mostly voting (whole-store scans and main shard 0 vote).
+  /// inside. `count_vote` controls the compressed cache's read-mostly
+  /// voting (whole-store scans and main shard 0 vote).
   ScanPartial EvalMainWindowLocked(size_t first, size_t last,
                                    const ScanSpec& spec,
-                                   bool count_vote = true) const;
+                                   bool count_vote = true) const
+      REQUIRES_SHARED(engine_latch_);
 
   /// Main-store encoding snapshot (slot 0). The main store is encoded
   /// POSITIONALLY — deleted slots included — so packed row == main-store
   /// position and the tombstone filter composes with packed refinement
   /// unchanged. The delta buffer always stays raw (it exists to absorb
-  /// writes). Caller holds the engine latch shared.
-  CompressedChunkCache::EncodingPtr CompressedMain(bool count_scan) const;
+  /// writes).
+  CompressedChunkCache::EncodingPtr CompressedMain(bool count_scan) const
+      REQUIRES_SHARED(engine_latch_);
 
-  /// Spec evaluation over the unsorted delta buffer (latch held).
-  ScanPartial EvalDeltaLocked(const ScanSpec& spec) const;
+  /// Spec evaluation over the unsorted delta buffer.
+  ScanPartial EvalDeltaLocked(const ScanSpec& spec) const
+      REQUIRES_SHARED(engine_latch_);
 
-  size_t NumMainShards() const {
+  size_t NumMainShards() const REQUIRES_SHARED(engine_latch_) {
     return main_keys_.empty()
                ? 0
                : (main_keys_.size() + kMainShardRows - 1) / kMainShardRows;
   }
   /// Qualifying main-store positions [first, last) of [lo, hi) inside main
   /// shard `shard`'s row window (delete bitmap not yet applied).
-  std::pair<size_t, size_t> MainShardWindow(size_t shard, Value lo, Value hi) const;
+  std::pair<size_t, size_t> MainShardWindow(size_t shard, Value lo, Value hi) const
+      REQUIRES_SHARED(engine_latch_);
 
   Options opts_;
+  /// Payload column count: immutable after construction, so readable with no
+  /// latch (columns are never added or dropped, only rows).
+  size_t payload_cols_ = 0;
   // Main store: sorted, with a positional delete bitmap.
-  std::vector<Value> main_keys_;
-  std::vector<std::vector<Payload>> main_payload_;
-  std::vector<uint8_t> deleted_;
-  size_t main_live_ = 0;
+  std::vector<Value> main_keys_ GUARDED_BY(engine_latch_);
+  std::vector<std::vector<Payload>> main_payload_ GUARDED_BY(engine_latch_);
+  std::vector<uint8_t> deleted_ GUARDED_BY(engine_latch_);
+  size_t main_live_ GUARDED_BY(engine_latch_) = 0;
   // Delta store: unsorted appends.
-  std::vector<Value> delta_keys_;
-  std::vector<std::vector<Payload>> delta_payload_;
-  uint64_t merges_ = 0;
+  std::vector<Value> delta_keys_ GUARDED_BY(engine_latch_);
+  std::vector<std::vector<Payload>> delta_payload_ GUARDED_BY(engine_latch_);
+  uint64_t merges_ GUARDED_BY(engine_latch_) = 0;
   /// One-slot cache over the main store; any write (even a delta append)
   /// advances the engine epoch and invalidates it.
   mutable CompressedChunkCache compressed_{1};

@@ -11,7 +11,9 @@ namespace casper {
 
 NoOrderLayout::NoOrderLayout(std::vector<Value> keys,
                              std::vector<std::vector<Payload>> payload)
-    : keys_(std::move(keys)), payload_(std::move(payload)) {
+    : payload_cols_(payload.size()),
+      keys_(std::move(keys)),
+      payload_(std::move(payload)) {
   for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
 }
 
@@ -37,6 +39,9 @@ CompressedChunkCache::EncodingPtr NoOrderLayout::CompressedColumn(
   return compressed_.GetOrBuild(
       0, engine_latch_.Epoch(), keys_.size(),
       [&]() -> CompressedChunkCache::EncodingPtr {
+        // The analysis can't see through GetOrBuild that this callback runs
+        // on the caller's thread with the engine latch still held shared.
+        engine_latch_.AssertReaderHeld();
         auto enc = std::make_shared<ChunkEncoding>();
         enc->keys = std::make_shared<FrameOfReferenceColumn>(keys_, size_t{4096});
         // Insertion-order rows are dense, so slot i is packed row i — no

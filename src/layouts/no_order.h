@@ -62,15 +62,20 @@ class NoOrderLayout final : public LayoutEngine {
     return keys_.size();
   }
   /// Raw key column (bench/test hook, like PartitionedTable::key_chunk):
-  /// bypasses the latch — callers must be quiescent.
-  const std::vector<Value>& raw_keys() const { return keys_; }
-  size_t num_payload_columns() const override { return payload_.size(); }
+  /// bypasses the latch — callers must be quiescent. The assert claims the
+  /// capability to the analysis and fail-fasts if a writer is mid-flight.
+  const std::vector<Value>& raw_keys() const {
+    engine_latch_.AssertReaderHeld();
+    return keys_;
+  }
+  size_t num_payload_columns() const override { return payload_cols_; }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
 
  private:
   /// Row window [begin, end) of a shard.
-  std::pair<size_t, size_t> MorselBounds(size_t shard) const {
+  std::pair<size_t, size_t> MorselBounds(size_t shard) const
+      REQUIRES_SHARED(engine_latch_) {
     const size_t begin = shard * kMorselRows;
     const size_t end = begin + kMorselRows < keys_.size() ? begin + kMorselRows
                                                           : keys_.size();
@@ -79,20 +84,25 @@ class NoOrderLayout final : public LayoutEngine {
 
   /// Whole-column encoding snapshot (FoR keys + advisor-chosen packed
   /// payload columns, slot 0), valid while the engine-latch epoch is
-  /// unchanged. Caller holds the engine latch shared. count_scan=false
-  /// consumes a hit without voting toward the build threshold (per-morsel
-  /// shard scans vote once, via shard 0).
-  CompressedChunkCache::EncodingPtr CompressedColumn(bool count_scan = true) const;
+  /// unchanged. count_scan=false consumes a hit without voting toward the
+  /// build threshold (per-morsel shard scans vote once, via shard 0).
+  CompressedChunkCache::EncodingPtr CompressedColumn(bool count_scan = true) const
+      REQUIRES_SHARED(engine_latch_);
 
-  /// Spec evaluation over the row window [begin, end), engine latch held.
+  /// Spec evaluation over the row window [begin, end).
   /// `count_vote` controls the compressed cache's read-mostly voting
   /// (whole-column scans and shard 0 vote; the other morsels of a fanned
   /// query only consume hits).
   ScanPartial EvalRowsLocked(size_t begin, size_t end, const ScanSpec& spec,
-                             bool count_vote) const;
+                             bool count_vote) const
+      REQUIRES_SHARED(engine_latch_);
 
-  std::vector<Value> keys_;
-  std::vector<std::vector<Payload>> payload_;  // [col][row]
+  /// Payload column count: immutable after construction, so readable with no
+  /// latch (columns are never added or dropped, only rows).
+  size_t payload_cols_ = 0;
+  std::vector<Value> keys_ GUARDED_BY(engine_latch_);
+  std::vector<std::vector<Payload>> payload_
+      GUARDED_BY(engine_latch_);  // [col][row]
   /// One-slot cache: the whole insertion-order column is the chunk here.
   /// Fixed 4096-value frames (zone maps only pay off on clustered data, and
   /// the payoff gate rejects incompressible key sets entirely).

@@ -10,7 +10,9 @@ namespace casper {
 
 SortedLayout::SortedLayout(std::vector<Value> keys,
                            std::vector<std::vector<Payload>> payload)
-    : keys_(std::move(keys)), payload_(std::move(payload)) {
+    : payload_cols_(payload.size()),
+      keys_(std::move(keys)),
+      payload_(std::move(payload)) {
   CASPER_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
   for (const auto& col : payload_) CASPER_CHECK(col.size() == keys_.size());
 }
@@ -40,6 +42,9 @@ CompressedChunkCache::EncodingPtr SortedLayout::CompressedColumn(
   return compressed_.GetOrBuild(
       0, engine_latch_.Epoch(), keys_.size(),
       [&]() -> CompressedChunkCache::EncodingPtr {
+        // The analysis can't see through GetOrBuild that this callback runs
+        // on the caller's thread with the engine latch still held shared.
+        engine_latch_.AssertReaderHeld();
         auto enc = std::make_shared<ChunkEncoding>();
         // Sorted keys give narrow FoR frames; the frame column only carries
         // the payoff gate and memory accounting here (counts stay on binary
@@ -197,7 +202,9 @@ void SortedLayout::MergeInsertRun(const std::vector<Value>& batch_keys) {
 
 void SortedLayout::InsertRows(const Row* rows, size_t n, ThreadPool* /*pool*/) {
   std::vector<Row> run(rows, rows + n);
-  for (const Row& r : run) CASPER_CHECK(r.payload.size() == payload_.size());
+  // payload_cols_ (not payload_.size()): the check runs before the latch is
+  // taken, so it may only read immutable state.
+  for (const Row& r : run) CASPER_CHECK(r.payload.size() == payload_cols_);
   ExclusiveChunkGuard guard(engine_latch_);
   MergeRowsLocked(std::move(run));
 }

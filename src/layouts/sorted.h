@@ -58,34 +58,42 @@ class SortedLayout final : public LayoutEngine {
     SharedChunkGuard guard(engine_latch_);
     return keys_.size();
   }
-  size_t num_payload_columns() const override { return payload_.size(); }
+  size_t num_payload_columns() const override { return payload_cols_; }
   LayoutMemoryStats MemoryStats() const override;
   void ValidateInvariants() const override;
 
  private:
   /// Insert without taking the engine latch (callers hold it exclusively).
-  void InsertLocked(Value key, const std::vector<Payload>& payload);
-  /// One-pass merge of caller rows into the sorted column (latch held).
-  void MergeRowsLocked(std::vector<Row> rows);
-  void MergeInsertRun(const std::vector<Value>& batch_keys);
+  void InsertLocked(Value key, const std::vector<Payload>& payload)
+      REQUIRES(engine_latch_);
+  /// One-pass merge of caller rows into the sorted column.
+  void MergeRowsLocked(std::vector<Row> rows) REQUIRES(engine_latch_);
+  void MergeInsertRun(const std::vector<Value>& batch_keys)
+      REQUIRES(engine_latch_);
 
   /// Qualifying row positions [first, last) of [lo, hi) inside this shard's
   /// window, found by binary search bounded to the window.
-  std::pair<size_t, size_t> ShardWindow(size_t shard, Value lo, Value hi) const;
+  std::pair<size_t, size_t> ShardWindow(size_t shard, Value lo, Value hi) const
+      REQUIRES_SHARED(engine_latch_);
 
   /// Spec evaluation over the pre-qualified sorted window [first, last)
-  /// (every row in it satisfies the key predicate); engine latch held.
+  /// (every row in it satisfies the key predicate).
   /// `count_vote` controls the compressed cache's read-mostly voting
   /// (whole-column scans and shard 0 vote; other morsels only consume hits).
   ScanPartial EvalWindowLocked(size_t first, size_t last, const ScanSpec& spec,
-                               bool count_vote = true) const;
+                               bool count_vote = true) const
+      REQUIRES_SHARED(engine_latch_);
 
   /// Whole-column encoding snapshot (slot 0): sorted rows are dense, so
-  /// packed row == row position. Caller holds the engine latch shared.
-  CompressedChunkCache::EncodingPtr CompressedColumn(bool count_scan) const;
+  /// packed row == row position.
+  CompressedChunkCache::EncodingPtr CompressedColumn(bool count_scan) const
+      REQUIRES_SHARED(engine_latch_);
 
-  std::vector<Value> keys_;
-  std::vector<std::vector<Payload>> payload_;
+  /// Payload column count: immutable after construction, so readable with no
+  /// latch (columns are never added or dropped, only rows).
+  size_t payload_cols_ = 0;
+  std::vector<Value> keys_ GUARDED_BY(engine_latch_);
+  std::vector<std::vector<Payload>> payload_ GUARDED_BY(engine_latch_);
   /// One-slot cache over the whole sorted run; epoch-invalidated by the
   /// engine latch like every other layout's encodings.
   mutable CompressedChunkCache compressed_{1};

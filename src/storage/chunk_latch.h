@@ -3,7 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <shared_mutex>
+
+#include "util/cpu_relax.h"
+#include "util/thread_annotations.h"
 
 namespace casper {
 
@@ -26,8 +30,16 @@ namespace casper {
 /// Chunk-disjoint write runs each hold only their own chunk's latch, so
 /// multi-writer ingest commits in parallel; writers touching the same chunk
 /// serialize on it. Lock ordering rule for multi-chunk writers (cross-chunk
-/// updates): acquire in ascending chunk index, so no cycle can form.
-class ChunkLatch {
+/// updates): acquire in ascending chunk index, so no cycle can form —
+/// enforced at the acquisition sites via `AssertLatchOrdered`.
+///
+/// The latch is a Thread Safety Analysis *capability*: data it protects is
+/// declared `GUARDED_BY` it, internals that assume it are `REQUIRES`-
+/// annotated, and the clang CI leg (`-DCASPER_TSA=ON`) turns violations of
+/// that contract into build errors. The epoch/seqlock side is deliberately
+/// outside the capability: `Epoch`/`WriteActive`/`ReadBegin`/`ReadValidate`
+/// are latch-free by design and carry no annotations.
+class CAPABILITY("chunk latch") ChunkLatch {
  public:
   ChunkLatch() = default;
   ChunkLatch(const ChunkLatch&) = delete;
@@ -35,7 +47,7 @@ class ChunkLatch {
 
   // --- Writer side ----------------------------------------------------------
 
-  void LockExclusive() {
+  void LockExclusive() ACQUIRE() {
     mu_.lock();
     // even -> odd: writer in. The release fence orders the odd increment
     // before the writer's payload stores (Boehm-style seqlock writer entry):
@@ -44,7 +56,7 @@ class ChunkLatch {
     epoch_.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
   }
-  void UnlockExclusive() {
+  void UnlockExclusive() RELEASE() {
     // odd -> even: writer out. The release increment orders every payload
     // store before the even value, so a reader whose ReadBegin acquires the
     // new even epoch sees the completed write.
@@ -54,8 +66,34 @@ class ChunkLatch {
 
   // --- Reader side ----------------------------------------------------------
 
-  void LockShared() const { mu_.lock_shared(); }
-  void UnlockShared() const { mu_.unlock_shared(); }
+  void LockShared() const ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() const RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  // --- Capability assertions ------------------------------------------------
+  //
+  // Escape hatches for contracts the static analysis cannot follow — e.g. a
+  // compression callback invoked by a helper whose caller took the latch, or
+  // a bench/test hook documented as quiescent-only. Each asserts the
+  // capability to the analysis AND runtime-checks the strongest necessary
+  // condition the latch can observe about itself (a std::shared_mutex cannot
+  // name its holders, but the fused epoch knows whether a writer is inside).
+
+  /// Caller claims a shared (or stronger) hold: no writer can be inside, so
+  /// the epoch must be even.
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {
+    if (WriteActive()) std::abort();
+  }
+  /// Caller claims the exclusive hold: it advanced the epoch to odd on entry.
+  void AssertWriterHeld() const ASSERT_CAPABILITY(this) {
+    if (!WriteActive()) std::abort();
+  }
+  /// Caller claims nobody else can touch the chunk at all (single-threaded
+  /// test/bench hooks that mutate without latching). Grants the exclusive
+  /// capability to the analysis; at runtime the latch can only verify the
+  /// necessary condition that no latched writer is mid-flight.
+  void AssertQuiescent() const ASSERT_CAPABILITY(this) {
+    if (WriteActive()) std::abort();
+  }
 
   // --- Epoch / seqlock protocol --------------------------------------------
 
@@ -70,6 +108,10 @@ class ChunkLatch {
     for (;;) {
       const uint64_t e = Epoch();
       if ((e & 1) == 0) return e;
+      // Writer in flight: pause instead of hammering the epoch line — the
+      // pause hint stops the load loop from flooding the core and gives a
+      // hyperthread-sibling writer the execution resources to finish sooner.
+      CpuRelax();
     }
   }
   /// True when no writer entered since ReadBegin returned `epoch` — the copy
@@ -87,13 +129,31 @@ class ChunkLatch {
   std::atomic<uint64_t> epoch_{0};
 };
 
+namespace internal {
+[[noreturn]] inline void LatchOrderViolation() { std::abort(); }
+}  // namespace internal
+
+/// Guards the cross-chunk lock-ordering invariant: a writer about to hold two
+/// chunk latches at once must acquire them in ascending chunk index (so no
+/// acquisition cycle can form between concurrent multi-chunk writers). Call
+/// with the two indices in intended acquisition order BEFORE taking the
+/// second latch. Deliberately `constexpr`: in a constant-evaluated context a
+/// descending pair is a compile error (the tsa_negative suite relies on
+/// this), at runtime it fail-fasts.
+constexpr void AssertLatchOrdered(size_t first, size_t second) {
+  if (first >= second) internal::LatchOrderViolation();
+}
+
 /// RAII shared (read) hold on a chunk latch.
-class SharedChunkGuard {
+class SCOPED_CAPABILITY SharedChunkGuard {
  public:
-  explicit SharedChunkGuard(const ChunkLatch& latch) : latch_(latch) {
+  explicit SharedChunkGuard(const ChunkLatch& latch) ACQUIRE_SHARED(latch)
+      : latch_(latch) {
     latch_.LockShared();
   }
-  ~SharedChunkGuard() { latch_.UnlockShared(); }
+  // Generic (mode-agnostic) release: scoped-capability destructors release
+  // whichever mode the constructor acquired.
+  ~SharedChunkGuard() RELEASE_GENERIC() { latch_.UnlockShared(); }
   SharedChunkGuard(const SharedChunkGuard&) = delete;
   SharedChunkGuard& operator=(const SharedChunkGuard&) = delete;
 
@@ -102,12 +162,13 @@ class SharedChunkGuard {
 };
 
 /// RAII exclusive (write) hold on a chunk latch; advances the epoch.
-class ExclusiveChunkGuard {
+class SCOPED_CAPABILITY ExclusiveChunkGuard {
  public:
-  explicit ExclusiveChunkGuard(ChunkLatch& latch) : latch_(latch) {
+  explicit ExclusiveChunkGuard(ChunkLatch& latch) ACQUIRE(latch)
+      : latch_(latch) {
     latch_.LockExclusive();
   }
-  ~ExclusiveChunkGuard() { latch_.UnlockExclusive(); }
+  ~ExclusiveChunkGuard() RELEASE_GENERIC() { latch_.UnlockExclusive(); }
   ExclusiveChunkGuard(const ExclusiveChunkGuard&) = delete;
   ExclusiveChunkGuard& operator=(const ExclusiveChunkGuard&) = delete;
 

@@ -86,15 +86,16 @@ PartitionedTable PartitionedTable::Build(std::vector<Value> sorted_keys,
       src += p.size;
     }
     table.chunk_uppers_.push_back(chunk.domain_upper());
-    table.chunks_.emplace_back(std::move(chunk), std::move(payload));
-    table.latches_.push_back(std::make_unique<ChunkLatch>());
+    table.chunks_.push_back(
+        std::make_unique<TableChunk>(std::move(chunk), std::move(payload)));
     offset += n;
   }
   table.compressed_.Reset(table.chunks_.size());
   return table;
 }
 
-CompressedChunkCache::EncodingPtr PartitionedTable::CompressedFor(size_t c) const {
+CompressedChunkCache::EncodingPtr PartitionedTable::CompressedFor(
+    size_t c, const TableChunk& ch) const {
   // The shared latch (held by the caller) pins the epoch at an even value,
   // so an encoding built or fetched here cannot straddle a write.
   // The compression-payoff gate lives in GetOrBuild; this lambda extracts
@@ -102,11 +103,14 @@ CompressedChunkCache::EncodingPtr PartitionedTable::CompressedFor(size_t c) cons
   // advisor for a per-column payload encoding, and records the payload zone
   // maps + live-row prefix that let scans prune and address packed rows.
   return compressed_.GetOrBuild(
-      c, latches_[c]->Epoch(), chunks_[c].keys.size(),
+      c, ch.latch.Epoch(), ch.keys.size(),
       [&]() -> CompressedChunkCache::EncodingPtr {
+        // The analysis cannot see through GetOrBuild that this callback runs
+        // on the caller's stack with the latch still held; re-assert it.
+        ch.latch.AssertReaderHeld();
         std::vector<Value> values;
         std::vector<size_t> frames;
-        const auto& chunk = chunks_[c].keys;
+        const auto& chunk = ch.keys;
         chunk.LiveValues(&values, &frames);
         if (values.empty()) return nullptr;
         auto enc = std::make_shared<ChunkEncoding>();
@@ -130,7 +134,7 @@ CompressedChunkCache::EncodingPtr PartitionedTable::CompressedFor(size_t c) cons
           enc->payload_zones.resize(payload_cols_);
           std::vector<Payload> vals;
           for (size_t col = 0; col < payload_cols_; ++col) {
-            const std::vector<Payload>& raw = chunks_[c].payload[col];
+            const std::vector<Payload>& raw = ch.payload[col];
             vals.clear();
             vals.reserve(live);
             auto& zones = enc->payload_zones[col];
@@ -166,20 +170,20 @@ size_t PartitionedTable::RouteChunk(Value key) const {
 size_t PartitionedTable::PointLookup(Value key,
                                      std::vector<Payload>* payload_out) const {
   const size_t c = RouteChunk(key);
-  SharedChunkGuard guard(*latches_[c]);
-  const auto& chunk = chunks_[c];
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
   if (payload_out == nullptr || payload_cols_ == 0) {
-    size_t n = chunk.keys.CountEqual(key);
+    size_t n = ch.keys.CountEqual(key);
     if (payload_out != nullptr) payload_out->clear();
     return n;
   }
   std::vector<uint32_t> slots;
-  chunk.keys.CollectSlots(key, &slots);
+  ch.keys.CollectSlots(key, &slots);
   payload_out->clear();
   if (!slots.empty()) {
     payload_out->resize(payload_cols_);
     for (size_t col = 0; col < payload_cols_; ++col) {
-      (*payload_out)[col] = chunk.payload[col][slots.front()];
+      (*payload_out)[col] = ch.payload[col][slots.front()];
     }
   }
   return slots.size();
@@ -203,16 +207,18 @@ ScanPartial PartitionedTable::ScanSpecAllChunks(const ScanSpec& spec) const {
 
 uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const {
   if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
-  SharedChunkGuard guard(*latches_[c]);
-  if (const auto enc = CompressedFor(c)) {
-    return chunks_[c].keys.CountRangeCompressed(*enc->keys, lo, hi);
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  if (const auto enc = CompressedFor(c, ch)) {
+    return ch.keys.CountRangeCompressed(*enc->keys, lo, hi);
   }
-  return chunks_[c].keys.CountRange(lo, hi);
+  return ch.keys.CountRange(lo, hi);
 }
 
 uint64_t PartitionedTable::ScanChunk(size_t c) const {
-  SharedChunkGuard guard(*latches_[c]);
-  return chunks_[c].keys.ScanAllCount();
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  return ch.keys.ScanAllCount();
 }
 
 int64_t PartitionedTable::SumPayloadRange(Value lo, Value hi,
@@ -246,8 +252,9 @@ ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) co
       (!spec.full_domain && !ChunkOverlapsRange(c, spec.lo, spec.hi))) {
     return out;
   }
-  SharedChunkGuard guard(*latches_[c]);
-  const auto& chunk = chunks_[c].keys;
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  const auto& chunk = ch.keys;
   if (chunk.size() == 0) return out;
   // Scan-on-compressed: every spec that touches payload columns consults the
   // chunk encoding cache (which votes toward / reuses the ChunkEncoding
@@ -257,7 +264,7 @@ ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) co
   const bool touches_payload =
       !spec.predicates.empty() || !spec.agg.cols.empty();
   const CompressedChunkCache::EncodingPtr enc =
-      touches_payload ? CompressedFor(c) : nullptr;
+      touches_payload ? CompressedFor(c, ch) : nullptr;
   bool any_packed = false;
   if (enc != nullptr) {
     for (const PredicateSpec& pr : spec.predicates) {
@@ -290,7 +297,7 @@ ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) co
     rows.keys = chunk.raw_data().data() + p.begin;
     rows.n = p.size;
     rows.base = static_cast<uint32_t>(p.begin);
-    rows.cols = &chunks_[c].payload;
+    rows.cols = &ch.payload;
     rows.key_check = check;
     if (enc != nullptr) {
       // Payload zone maps (per-partition min/max per column): a predicate
@@ -337,9 +344,9 @@ void PartitionedTable::LookupBatch(const Value* keys, size_t n,
   // O(num_chunks) bucketing and probe directly.
   if (n <= 2) {
     for (size_t i = 0; i < n; ++i) {
-      const size_t c = RouteChunk(keys[i]);
-      SharedChunkGuard guard(*latches_[c]);
-      out_counts[i] = chunks_[c].keys.CountEqual(keys[i]);
+      const TableChunk& ch = *chunks_[RouteChunk(keys[i])];
+      SharedChunkGuard guard(ch.latch);
+      out_counts[i] = ch.keys.CountEqual(keys[i]);
     }
     return;
   }
@@ -355,9 +362,10 @@ void PartitionedTable::LookupBatch(const Value* keys, size_t n,
     if (!by_chunk[c].empty()) touched.push_back(c);
   }
   auto probe_chunk = [&](size_t c) {
-    SharedChunkGuard guard(*latches_[c]);
+    const TableChunk& ch = *chunks_[c];
+    SharedChunkGuard guard(ch.latch);
     for (const uint32_t idx : by_chunk[c]) {
-      out_counts[idx] = chunks_[c].keys.CountEqual(keys[idx]);
+      out_counts[idx] = ch.keys.CountEqual(keys[idx]);
     }
   };
   if (pool != nullptr && pool->num_threads() > 1 && touched.size() > 1) {
@@ -373,8 +381,9 @@ int64_t PartitionedTable::SumKeysRange(Value lo, Value hi) const {
     const bool is_last = (c + 1 == chunks_.size());
     if (!is_last && chunk_uppers_[c] < lo) continue;
     if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
-    SharedChunkGuard guard(*latches_[c]);
-    sum += chunks_[c].keys.SumRange(lo, hi);
+    const TableChunk& ch = *chunks_[c];
+    SharedChunkGuard guard(ch.latch);
+    sum += ch.keys.SumRange(lo, hi);
   }
   return sum;
 }
@@ -409,59 +418,76 @@ void PartitionedTable::ApplyMoveLog(TableChunk& chunk, const MoveLog& log,
 
 void PartitionedTable::Insert(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == payload_cols_);
-  const size_t c = RouteChunk(key);
-  ExclusiveChunkGuard guard(*latches_[c]);
+  TableChunk& ch = *chunks_[RouteChunk(key)];
+  ExclusiveChunkGuard guard(ch.latch);
   MoveLog log;
-  chunks_[c].keys.Insert(key, &log);
-  ApplyMoveLog(chunks_[c], log, &payload, nullptr);
+  ch.keys.Insert(key, &log);
+  ApplyMoveLog(ch, log, &payload, nullptr);
   ++rows_;
 }
 
 size_t PartitionedTable::Delete(Value key) {
-  const size_t c = RouteChunk(key);
-  ExclusiveChunkGuard guard(*latches_[c]);
+  TableChunk& ch = *chunks_[RouteChunk(key)];
+  ExclusiveChunkGuard guard(ch.latch);
   MoveLog log;
-  const size_t n = chunks_[c].keys.DeleteOne(key, &log);
+  const size_t n = ch.keys.DeleteOne(key, &log);
   if (n > 0) {
-    ApplyMoveLog(chunks_[c], log, nullptr, nullptr);
+    ApplyMoveLog(ch, log, nullptr, nullptr);
     rows_.Sub(1);
   }
   return n;
+}
+
+bool PartitionedTable::MoveRowAcrossChunks(TableChunk& src, TableChunk& dst,
+                                           Value old_key, Value new_key) {
+  std::vector<uint32_t> slots;
+  src.keys.CollectSlots(old_key, &slots);
+  if (slots.empty()) return false;
+  std::vector<Payload> row(payload_cols_);
+  for (size_t col = 0; col < payload_cols_; ++col) {
+    row[col] = src.payload[col][slots.front()];
+  }
+  MoveLog del_log;
+  CASPER_CHECK(src.keys.DeleteOne(old_key, &del_log) == 1);
+  ApplyMoveLog(src, del_log, nullptr, nullptr);
+  MoveLog ins_log;
+  dst.keys.Insert(new_key, &ins_log);
+  ApplyMoveLog(dst, ins_log, &row, nullptr);
+  return true;
 }
 
 bool PartitionedTable::UpdateKey(Value old_key, Value new_key) {
   const size_t c_old = RouteChunk(old_key);
   const size_t c_new = RouteChunk(new_key);
   if (c_old == c_new) {
-    ExclusiveChunkGuard guard(*latches_[c_old]);
+    TableChunk& ch = *chunks_[c_old];
+    ExclusiveChunkGuard guard(ch.latch);
     MoveLog log;
     std::vector<Payload> stash;
-    if (!chunks_[c_old].keys.Update(old_key, new_key, &log)) return false;
-    ApplyMoveLog(chunks_[c_old], log, nullptr, &stash);
+    if (!ch.keys.Update(old_key, new_key, &log)) return false;
+    ApplyMoveLog(ch, log, nullptr, &stash);
     return true;
   }
   // Cross-chunk update: delete from the source chunk, reinsert in the
   // destination chunk, carrying the payload across. Both chunk latches are
   // held for the whole move so no reader sees the row absent from both;
-  // ascending-index acquisition keeps concurrent updaters deadlock-free.
-  const size_t first_latch = c_old < c_new ? c_old : c_new;
-  const size_t second_latch = c_old < c_new ? c_new : c_old;
-  ExclusiveChunkGuard first_guard(*latches_[first_latch]);
-  ExclusiveChunkGuard second_guard(*latches_[second_latch]);
-  std::vector<uint32_t> slots;
-  chunks_[c_old].keys.CollectSlots(old_key, &slots);
-  if (slots.empty()) return false;
-  std::vector<Payload> row(payload_cols_);
-  for (size_t col = 0; col < payload_cols_; ++col) {
-    row[col] = chunks_[c_old].payload[col][slots.front()];
+  // ascending-index acquisition (checked by AssertLatchOrdered, one branch
+  // per direction so the analysis sees exactly which latches are held) keeps
+  // concurrent updaters deadlock-free.
+  if (c_old < c_new) {
+    AssertLatchOrdered(c_old, c_new);
+    TableChunk& src = *chunks_[c_old];
+    TableChunk& dst = *chunks_[c_new];
+    ExclusiveChunkGuard src_guard(src.latch);
+    ExclusiveChunkGuard dst_guard(dst.latch);
+    return MoveRowAcrossChunks(src, dst, old_key, new_key);
   }
-  MoveLog del_log;
-  CASPER_CHECK(chunks_[c_old].keys.DeleteOne(old_key, &del_log) == 1);
-  ApplyMoveLog(chunks_[c_old], del_log, nullptr, nullptr);
-  MoveLog ins_log;
-  chunks_[c_new].keys.Insert(new_key, &ins_log);
-  ApplyMoveLog(chunks_[c_new], ins_log, &row, nullptr);
-  return true;
+  AssertLatchOrdered(c_new, c_old);
+  TableChunk& dst = *chunks_[c_new];
+  TableChunk& src = *chunks_[c_old];
+  ExclusiveChunkGuard dst_guard(dst.latch);
+  ExclusiveChunkGuard src_guard(src.latch);
+  return MoveRowAcrossChunks(src, dst, old_key, new_key);
 }
 
 size_t PartitionedTable::ApplyWriteRun(const std::vector<BatchWrite>& run,
@@ -484,17 +510,18 @@ size_t PartitionedTable::ApplyWriteRun(const std::vector<BatchWrite>& run,
   auto apply_chunk = [&](size_t c) {
     // One exclusive hold per chunk group amortizes the latch over the run;
     // a concurrent ApplyWriteRun touching other chunks proceeds in parallel.
-    ExclusiveChunkGuard guard(*latches_[c]);
+    TableChunk& ch = *chunks_[c];
+    ExclusiveChunkGuard guard(ch.latch);
     MoveLog log;
     for (const uint32_t idx : by_chunk[c]) {
       const BatchWrite& w = run[idx];
       log.Clear();
       if (w.is_insert) {
-        chunks_[c].keys.Insert(w.key, &log);
-        ApplyMoveLog(chunks_[c], log, &w.payload, nullptr);
+        ch.keys.Insert(w.key, &log);
+        ApplyMoveLog(ch, log, &w.payload, nullptr);
         ++inserted[c];
-      } else if (chunks_[c].keys.DeleteOne(w.key, &log) > 0) {
-        ApplyMoveLog(chunks_[c], log, nullptr, nullptr);
+      } else if (ch.keys.DeleteOne(w.key, &log) > 0) {
+        ApplyMoveLog(ch, log, nullptr, nullptr);
         ++removed[c];
       }
     }
@@ -534,9 +561,10 @@ void PartitionedTable::BatchWriteRows(const Row* rows, size_t n,
 size_t PartitionedTable::MemoryBytes() const {
   size_t bytes = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {
-    SharedChunkGuard guard(*latches_[c]);
-    bytes += chunks_[c].keys.capacity() * sizeof(Value);
-    for (const auto& col : chunks_[c].payload) bytes += col.size() * sizeof(Payload);
+    const TableChunk& ch = *chunks_[c];
+    SharedChunkGuard guard(ch.latch);
+    bytes += ch.keys.capacity() * sizeof(Value);
+    for (const auto& col : ch.payload) bytes += col.size() * sizeof(Payload);
   }
   // Cached compressed encodings are real resident bytes too.
   bytes += compressed_.MemoryBytes();
@@ -546,12 +574,12 @@ size_t PartitionedTable::MemoryBytes() const {
 void PartitionedTable::ValidateInvariants() const {
   size_t live = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {
-    SharedChunkGuard guard(*latches_[c]);
-    const auto& chunk = chunks_[c];
-    chunk.keys.ValidateInvariants();
-    live += chunk.keys.size();
-    for (const auto& col : chunk.payload) {
-      CASPER_CHECK(col.size() == chunk.keys.capacity());
+    const TableChunk& ch = *chunks_[c];
+    SharedChunkGuard guard(ch.latch);
+    ch.keys.ValidateInvariants();
+    live += ch.keys.size();
+    for (const auto& col : ch.payload) {
+      CASPER_CHECK(col.size() == ch.keys.capacity());
     }
   }
   CASPER_CHECK(live == num_rows());

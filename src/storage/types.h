@@ -82,6 +82,21 @@ class RelaxedCounter {
   }
   void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
   void Sub(uint64_t delta) { v_.fetch_sub(delta, std::memory_order_relaxed); }
+  /// Atomic post-increment returning the prior value: the idiom behind
+  /// work-distribution cursors (morsel claim counters, timestamp oracles)
+  /// where each caller must observe a distinct value but no ordering with
+  /// surrounding data is implied.
+  uint64_t FetchAdd(uint64_t delta) {
+    return v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Monotonic max accumulation (relaxed CAS loop); lost-update-free but,
+  /// like every accessor here, carries no ordering.
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = load();
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
 
   operator uint64_t() const { return load(); }
   uint64_t load() const { return v_.load(std::memory_order_relaxed); }

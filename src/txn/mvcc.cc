@@ -36,12 +36,12 @@ std::vector<size_t> ChunkSnapshot::ChangedDomains(const LayoutEngine& engine) co
 }
 
 Transaction MvccTable::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Transaction(this, oracle_.Current());
 }
 
 uint64_t MvccTable::CommittedRows() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t snap = oracle_.Current();
   uint64_t rows = 0;
   for (const auto& [key, v] : versions_) rows += VisibleAt(v, snap);
@@ -53,7 +53,7 @@ size_t Transaction::Read(Value key, std::vector<Payload>* payload) {
   size_t count = 0;
   const std::vector<Payload>* first = nullptr;
   {
-    std::lock_guard<std::mutex> lock(table_->mu_);
+    MutexLock lock(table_->mu_);
     auto [lo, hi] = table_->versions_.equal_range(key);
     for (auto it = lo; it != hi; ++it) {
       if (table_->VisibleAt(it->second, snapshot_)) {
@@ -86,7 +86,7 @@ uint64_t Transaction::CountRange(Value lo, Value hi) {
   if (lo >= hi) return 0;
   uint64_t count = 0;
   {
-    std::lock_guard<std::mutex> lock(table_->mu_);
+    MutexLock lock(table_->mu_);
     for (auto it = table_->versions_.lower_bound(lo);
          it != table_->versions_.end() && it->first < hi; ++it) {
       count += table_->VisibleAt(it->second, snapshot_);
@@ -119,7 +119,7 @@ size_t Transaction::Delete(Value key) {
   // Otherwise mark one visible snapshot row deleted, if any remain.
   size_t visible = 0;
   {
-    std::lock_guard<std::mutex> lock(table_->mu_);
+    MutexLock lock(table_->mu_);
     auto [lo, hi] = table_->versions_.equal_range(key);
     for (auto it = lo; it != hi; ++it) {
       visible += table_->VisibleAt(it->second, snapshot_);
@@ -144,7 +144,7 @@ bool Transaction::Update(Value old_key, Value new_key) {
 
 Status Transaction::Commit() {
   CASPER_CHECK(active_);
-  std::lock_guard<std::mutex> lock(table_->mu_);
+  MutexLock lock(table_->mu_);
   // First-committer-wins: if any key we write was committed by someone else
   // after our snapshot, we must abort.
   auto conflicts = [&](Value key) {

@@ -1,26 +1,27 @@
 #ifndef CASPER_TXN_MVCC_H_
 #define CASPER_TXN_MVCC_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/types.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace casper {
 
-/// Monotonic timestamp source for snapshot isolation.
+/// Monotonic timestamp source for snapshot isolation. Timestamps are a
+/// relaxed counter: each caller needs a distinct value, but ordering with
+/// surrounding data comes from the commit lock, not from the oracle.
 class TimestampOracle {
  public:
-  uint64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
-  uint64_t Current() const { return next_.load(std::memory_order_relaxed) - 1; }
+  uint64_t Next() { return next_.FetchAdd(1); }
+  uint64_t Current() const { return next_.load() - 1; }
 
  private:
-  std::atomic<uint64_t> next_{1};
+  RelaxedCounter next_{1};
 };
 
 class Transaction;
@@ -94,10 +95,10 @@ class MvccTable {
   }
 
   size_t payload_cols_;
-  std::mutex mu_;
+  Mutex mu_;
   TimestampOracle oracle_;
-  std::multimap<Value, RowVersion> versions_;
-  std::unordered_map<Value, uint64_t> last_commit_;
+  std::multimap<Value, RowVersion> versions_ GUARDED_BY(mu_);
+  std::unordered_map<Value, uint64_t> last_commit_ GUARDED_BY(mu_);
 };
 
 /// A transaction handle. Reads merge the snapshot view with the local write

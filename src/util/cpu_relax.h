@@ -1,0 +1,25 @@
+#ifndef CASPER_UTIL_CPU_RELAX_H_
+#define CASPER_UTIL_CPU_RELAX_H_
+
+namespace casper {
+
+/// Spin-wait hint. On x86 this emits `pause`, which (a) tells the core the
+/// load loop is a spin so it stops speculating ahead and re-issuing the load
+/// at full rate (saving the memory-order mis-speculation flush when the
+/// awaited store finally lands), and (b) yields pipeline resources to the
+/// sibling hyperthread — often the very writer we are waiting on. Without it
+/// a tight epoch-polling loop can keep the writer's sibling starved and
+/// *lengthen* the wait it is spinning on.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();  // _mm_pause without dragging in <immintrin.h>
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No portable equivalent; a plain spin is still correct, just less polite.
+#endif
+}
+
+}  // namespace casper
+
+#endif  // CASPER_UTIL_CPU_RELAX_H_

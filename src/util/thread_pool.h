@@ -4,10 +4,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace casper {
 
@@ -37,12 +39,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  Mutex mu_;
   std::condition_variable task_cv_;
   std::condition_variable idle_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace casper

@@ -365,6 +365,44 @@ TEST(ScanKernels, PackedPayloadKernelsMatchBruteForce) {
   }
 }
 
+// The key-side scan-on-compressed kernels (CountPackedInRange / SumPacked)
+// vs brute-force unpack: swept over sizes, bit widths 0..32, unaligned
+// element windows, and the half-open offset-space predicate — including the
+// empty olo >= ohi shape.
+TEST(ScanKernels, PackedKeyKernelsMatchBruteForce) {
+  Rng rng(20260809);
+  for (size_t n = 0; n <= 4097; n = n < 96 ? n + 1 : n + 57) {
+    const unsigned width = static_cast<unsigned>(rng.Below(33));
+    const size_t off = rng.Below(8);  // unaligned window start
+    const size_t total = n + off;
+    const uint64_t mask =
+        width == 0 ? 0 : (width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1));
+    BitPackedArray arr(total, width);
+    std::vector<uint64_t> vals(total);
+    for (size_t i = 0; i < total; ++i) {
+      vals[i] = rng.Next() & mask;
+      arr.Set(i, vals[i]);
+    }
+
+    uint64_t olo = rng.Next() & mask;
+    uint64_t ohi = rng.Next() & mask;
+    if (olo > ohi) std::swap(olo, ohi);
+    if (mask > 0 && rng.Below(8) == 0) std::swap(olo, ohi);  // maybe empty
+
+    uint64_t want_count = 0;
+    uint64_t want_sum = 0;
+    for (size_t i = off; i < total; ++i) {
+      want_count += (olo <= vals[i] && vals[i] < ohi);
+      want_sum += vals[i];
+    }
+    ASSERT_EQ(kernels::CountPackedInRange(arr.words(), off, total, width, olo, ohi),
+              want_count)
+        << n << " w=" << width << " off=" << off;
+    ASSERT_EQ(kernels::SumPacked(arr.words(), off, total, width), want_sum)
+        << n << " w=" << width << " off=" << off;
+  }
+}
+
 // The unpacked-block inner kernels behind the packed payload layer:
 // dispatched == scalar == avx2 (when the CPU has it) on identical inputs,
 // sizes 0..4097 with unaligned base offsets.

@@ -1,0 +1,24 @@
+// Violation: calling a REQUIRES(latch) internal without holding the latch —
+// the *Locked-method contract used across storage/ and layouts/.
+#include "storage/chunk_latch.h"
+
+namespace {
+
+struct Store {
+  mutable casper::ChunkLatch latch;
+  int rows GUARDED_BY(latch) = 0;
+
+  void InsertLocked() REQUIRES(latch) { ++rows; }
+};
+
+}  // namespace
+
+void CaseCallLockedWithoutLatch() {
+  Store store;
+#ifdef CASPER_TSA_VIOLATION
+  store.InsertLocked();  // latch not held
+#else
+  casper::ExclusiveChunkGuard guard(store.latch);
+  store.InsertLocked();
+#endif
+}

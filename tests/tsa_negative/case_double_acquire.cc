@@ -1,0 +1,16 @@
+// Violation: acquiring the same latch exclusively twice in one scope —
+// ChunkLatch is not reentrant (std::shared_mutex self-deadlock).
+#include "storage/chunk_latch.h"
+
+namespace {
+
+casper::ChunkLatch g_latch;
+
+}  // namespace
+
+void CaseDoubleAcquire() {
+  casper::ExclusiveChunkGuard first(g_latch);
+#ifdef CASPER_TSA_VIOLATION
+  casper::ExclusiveChunkGuard second(g_latch);  // already held
+#endif
+}

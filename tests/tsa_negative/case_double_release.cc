@@ -1,0 +1,18 @@
+// Violation: releasing a latch that is not held — with the seqlock fused
+// into the latch this would also corrupt the write epoch (odd/even protocol).
+#include "storage/chunk_latch.h"
+
+namespace {
+
+casper::ChunkLatch g_latch;
+
+}  // namespace
+
+void CaseDoubleRelease() {
+#ifdef CASPER_TSA_VIOLATION
+  g_latch.UnlockExclusive();  // never locked
+#else
+  g_latch.LockExclusive();
+  g_latch.UnlockExclusive();
+#endif
+}

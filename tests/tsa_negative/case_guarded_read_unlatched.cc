@@ -1,0 +1,26 @@
+// Violation: reading a GUARDED_BY field without even a shared hold — the
+// bug class behind the delta store's formerly unlatched merge_count().
+#include "storage/chunk_latch.h"
+
+namespace {
+
+struct Store {
+  mutable casper::ChunkLatch latch;
+  int rows GUARDED_BY(latch) = 0;
+};
+
+int ReadRows(const Store& store) {
+#ifdef CASPER_TSA_VIOLATION
+  return store.rows;  // no latch held
+#else
+  casper::SharedChunkGuard guard(store.latch);
+  return store.rows;
+#endif
+}
+
+}  // namespace
+
+int CaseGuardedReadUnlatched() {
+  Store store;
+  return ReadRows(store);
+}

@@ -1,0 +1,22 @@
+// Violation: writing a GUARDED_BY field with no latch held at all — the
+// protected-data contract on chunk columns and layout stores.
+#include "storage/chunk_latch.h"
+
+namespace {
+
+struct Store {
+  mutable casper::ChunkLatch latch;
+  int rows GUARDED_BY(latch) = 0;
+};
+
+}  // namespace
+
+void CaseGuardedWriteUnlatched() {
+  Store store;
+#ifdef CASPER_TSA_VIOLATION
+  store.rows = 1;  // no latch held
+#else
+  casper::ExclusiveChunkGuard guard(store.latch);
+  store.rows = 1;
+#endif
+}

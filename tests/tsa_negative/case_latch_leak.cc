@@ -1,0 +1,18 @@
+// Violation: acquiring the latch and returning without releasing it (and
+// without an ACQUIRE annotation transferring the hold to the caller) — a
+// leaked hold deadlocks the next writer.
+#include "storage/chunk_latch.h"
+
+namespace {
+
+casper::ChunkLatch g_latch;
+
+}  // namespace
+
+void CaseLatchLeak() {
+  g_latch.LockExclusive();
+#ifndef CASPER_TSA_VIOLATION
+  g_latch.UnlockExclusive();
+#endif
+  // violation mode: function exits still holding g_latch
+}

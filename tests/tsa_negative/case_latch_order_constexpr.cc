@@ -1,0 +1,23 @@
+// Violation: acquiring two chunk latches in DESCENDING index order — the
+// cross-chunk deadlock-avoidance rule (table.cc UpdateKey acquires ascending)
+// enforced by AssertLatchOrdered. Unlike the other cases this needs no
+// analysis support: in a constexpr context the violating branch calls a
+// non-constexpr function, so ANY C++17 compiler rejects it.
+#include "storage/chunk_latch.h"
+
+namespace {
+
+constexpr bool AscendingOrderOk() {
+#ifdef CASPER_TSA_VIOLATION
+  casper::AssertLatchOrdered(2, 1);  // descending: not a constant expression
+#else
+  casper::AssertLatchOrdered(1, 2);
+#endif
+  return true;
+}
+
+static_assert(AscendingOrderOk(), "chunk latches must be acquired ascending");
+
+}  // namespace
+
+bool CaseLatchOrderConstexpr() { return AscendingOrderOk(); }

@@ -1,0 +1,22 @@
+// Violation: touching Mutex-guarded state outside the critical section —
+// the plain-mutex contract (thread pool queue, MVCC version store).
+#include "util/mutex.h"
+
+namespace {
+
+struct Queue {
+  casper::Mutex mu;
+  int pending GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+void CaseMutexGuardedWrite() {
+  Queue queue;
+#ifdef CASPER_TSA_VIOLATION
+  ++queue.pending;  // mu not held
+#else
+  casper::MutexLock lock(queue.mu);
+  ++queue.pending;
+#endif
+}

@@ -1,0 +1,18 @@
+// Violation: exclusive acquire paired with a shared release — the mismatch
+// would leave the seqlock epoch odd forever (readers spin, writers deadlock).
+#include "storage/chunk_latch.h"
+
+namespace {
+
+casper::ChunkLatch g_latch;
+
+}  // namespace
+
+void CaseUnlockModeMismatch() {
+  g_latch.LockExclusive();
+#ifdef CASPER_TSA_VIOLATION
+  g_latch.UnlockShared();  // wrong side of the latch
+#else
+  g_latch.UnlockExclusive();
+#endif
+}

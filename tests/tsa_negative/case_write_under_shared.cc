@@ -1,0 +1,23 @@
+// Violation: mutating guarded data while holding the latch only SHARED —
+// readers may overlap, so writes require the exclusive side.
+#include "storage/chunk_latch.h"
+
+namespace {
+
+struct Store {
+  mutable casper::ChunkLatch latch;
+  int rows GUARDED_BY(latch) = 0;
+};
+
+}  // namespace
+
+void CaseWriteUnderShared() {
+  Store store;
+#ifdef CASPER_TSA_VIOLATION
+  casper::SharedChunkGuard guard(store.latch);
+  store.rows = 1;  // shared hold, exclusive access required
+#else
+  casper::ExclusiveChunkGuard guard(store.latch);
+  store.rows = 1;
+#endif
+}
