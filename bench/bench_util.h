@@ -6,8 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/casper_engine.h"
 #include "engine/harness.h"
-#include "layouts/layout_factory.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 #include "workload/hap.h"
@@ -113,13 +113,19 @@ inline BuiltWorkload MakeHapExperiment(hap::Workload w, size_t rows, size_t num_
   return out;
 }
 
-/// Builds a layout and replays the op stream; returns the harness result.
+/// Builds an engine and replays the op stream; returns the harness result.
+/// Goes through the unified EngineOptions surface so every bench exercises
+/// the same construction path production callers use.
 inline HarnessResult RunLayout(LayoutMode mode, const BuiltWorkload& w,
                                LayoutBuildOptions opts = LayoutBuildOptions()) {
-  opts.mode = mode;
-  opts.training = &w.training;
-  auto engine = BuildLayout(opts, w.data.keys, w.data.payload);
-  return RunWorkload(*engine, w.ops);
+  EngineOptions eopts;
+  eopts.keys = w.data.keys;
+  eopts.payload = w.data.payload;
+  eopts.training = &w.training;
+  eopts.layout = std::move(opts);
+  eopts.layout.mode = mode;
+  CasperEngine engine = CasperEngine::Open(std::move(eopts));
+  return RunWorkload(engine.layout(), w.ops);
 }
 
 }  // namespace casper::bench

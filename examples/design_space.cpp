@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "engine/casper_engine.h"
 #include "engine/harness.h"
-#include "layouts/layout_factory.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 #include "workload/hap.h"
@@ -51,13 +51,15 @@ int main() {
   std::printf("%-14s %-20s %-18s %-22s %10s %10s\n", "mode", "organization",
               "update policy", "buffering", "Q1 (us)", "Q4 (us)");
   for (const DesignPoint& p : points) {
-    LayoutBuildOptions opts;
-    opts.mode = p.mode;
+    EngineOptions opts;
+    opts.keys = data.keys;
+    opts.payload = data.payload;
     opts.training = &training;
-    auto engine = BuildLayout(opts, data.keys, data.payload);
-    HarnessResult r = RunWorkload(*engine, ops);
+    opts.layout.mode = p.mode;
+    CasperEngine engine = CasperEngine::Open(std::move(opts));
+    HarnessResult r = RunWorkload(engine.layout(), ops);
     std::printf("%-14s %-20s %-18s %-22s %10.2f %10.3f\n",
-                std::string(engine->name()).c_str(), p.organization,
+                std::string(engine.layout().name()).c_str(), p.organization,
                 p.update_policy, p.buffering,
                 r.Rec(OpKind::kPointQuery).MeanMicros(),
                 r.Rec(OpKind::kInsert).MeanMicros());

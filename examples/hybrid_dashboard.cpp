@@ -7,9 +7,8 @@
 #include <cstdio>
 #include <string>
 
+#include "engine/casper_engine.h"
 #include "engine/harness.h"
-#include "layouts/layout_factory.h"
-#include "layouts/partitioned.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 #include "workload/hap.h"
@@ -43,35 +42,30 @@ int main() {
               "Q4 (us)", "Kops/s", "mem amp");
   for (const LayoutMode mode :
        {LayoutMode::kCasper, LayoutMode::kDeltaStore, LayoutMode::kSorted}) {
-    LayoutBuildOptions opts;
-    opts.mode = mode;
+    EngineOptions opts;
+    opts.keys = data.keys;
+    opts.payload = data.payload;
     opts.training = &training;
-    auto engine = BuildLayout(opts, data.keys, data.payload);
-    HarnessResult r = RunWorkload(*engine, live);
-    const auto mem = engine->MemoryStats();
+    opts.layout.mode = mode;
+    CasperEngine engine = CasperEngine::Open(std::move(opts));
+    HarnessResult r = RunWorkload(engine.layout(), live);
+    const auto mem = engine.MemoryStats();
     std::printf("%-16s %12.2f %12.2f %12.3f %12.1f %11.3fx\n",
-                std::string(engine->name()).c_str(),
+                std::string(engine.layout().name()).c_str(),
                 r.Rec(OpKind::kPointQuery).MeanMicros(),
                 r.Rec(OpKind::kRangeSum).MeanMicros(),
                 r.Rec(OpKind::kInsert).MeanMicros(),
                 r.ThroughputOpsPerSec() / 1000.0, mem.Amplification());
     // Scan-on-compressed telemetry: how often the range aggregates above ran
     // on packed payload columns, and how many partitions the payload zone
-    // maps skipped outright (only the partitioned table tracks per-chunk
-    // stats).
-    if (const auto* casper_layout =
-            dynamic_cast<const PartitionedLayout*>(engine.get())) {
-      uint64_t packed_scans = 0, zones_pruned = 0;
-      const auto& table = casper_layout->table();
-      for (size_t c = 0; c < table.num_chunks(); ++c) {
-        const ChunkStatsSnapshot s = table.CoherentStatsSnapshot(c);
-        packed_scans += s.compressed_payload_scans;
-        zones_pruned += s.payload_partitions_pruned;
-      }
+    // maps skipped outright. StatsSnapshots() is the unified stats surface —
+    // layouts without per-chunk accounting just return an empty registry.
+    const ChunkStatsSnapshot totals = engine.layout().StatsSnapshots().Totals();
+    if (totals.compressed_payload_scans + totals.payload_partitions_pruned > 0) {
       std::printf("%-16s %zu packed payload partition scans, %zu partitions "
                   "zone-map pruned\n",
-                  "", static_cast<size_t>(packed_scans),
-                  static_cast<size_t>(zones_pruned));
+                  "", static_cast<size_t>(totals.compressed_payload_scans),
+                  static_cast<size_t>(totals.payload_partitions_pruned));
     }
   }
   // The overnight analytics window: ingest pauses and the same dashboard
@@ -83,30 +77,25 @@ int main() {
     analytics.mix = {.range_sum = 1.0};
     Rng tonight(300);
     auto overnight = GenerateWorkload(analytics, 3000, tonight);
-    LayoutBuildOptions opts;
-    opts.mode = LayoutMode::kCasper;
+    EngineOptions opts;
+    opts.keys = data.keys;
+    opts.payload = data.payload;
     opts.training = &training;
-    auto engine = BuildLayout(opts, data.keys, data.payload);
+    opts.layout.mode = LayoutMode::kCasper;
+    CasperEngine engine = CasperEngine::Open(std::move(opts));
     // First pass pays the per-chunk encode builds; second pass runs on the
     // warm cache and shows the steady-state packed-scan cost.
-    HarnessResult cold = RunWorkload(*engine, overnight);
-    HarnessResult warm = RunWorkload(*engine, overnight);
-    uint64_t packed_scans = 0, zones_pruned = 0;
-    const auto& table =
-        dynamic_cast<const PartitionedLayout&>(*engine).table();
-    for (size_t c = 0; c < table.num_chunks(); ++c) {
-      const ChunkStatsSnapshot s = table.CoherentStatsSnapshot(c);
-      packed_scans += s.compressed_payload_scans;
-      zones_pruned += s.payload_partitions_pruned;
-    }
+    HarnessResult cold = RunWorkload(engine.layout(), overnight);
+    HarnessResult warm = RunWorkload(engine.layout(), overnight);
+    const ChunkStatsSnapshot totals = engine.layout().StatsSnapshots().Totals();
     std::printf("\novernight analytics (read-only range sums on Casper): "
                 "%.2f us/query warming the encodings, %.2f us/query warm\n"
                 "  %zu packed payload partition scans, %zu partitions "
                 "zone-map pruned\n",
                 cold.Rec(OpKind::kRangeSum).MeanMicros(),
                 warm.Rec(OpKind::kRangeSum).MeanMicros(),
-                static_cast<size_t>(packed_scans),
-                static_cast<size_t>(zones_pruned));
+                static_cast<size_t>(totals.compressed_payload_scans),
+                static_cast<size_t>(totals.payload_partitions_pruned));
   }
   std::printf("\nCasper trades ~1%% extra memory (ghost values) for write costs\n"
               "close to an append-only store while keeping reads partitioned.\n");

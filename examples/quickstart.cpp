@@ -31,11 +31,18 @@ int main() {
 
   // 3. Open the engine in Casper mode: it captures the Frequency Model from
   //    the sample, solves the layout problem per chunk, and materializes the
-  //    tailored layout (partition sizes + ghost-value placement).
-  LayoutBuildOptions options;
-  options.mode = LayoutMode::kCasper;
-  CasperEngine engine = CasperEngine::Open(options, data.keys, data.payload,
-                                           &sample);
+  //    tailored layout (partition sizes + ghost-value placement). Everything
+  //    Open needs rides in one EngineOptions value — data, layout config,
+  //    parallelism, and (optionally) the adaptive maintenance policy.
+  EngineOptions options;
+  options.keys = data.keys;
+  options.payload = data.payload;
+  options.training = &sample;
+  options.layout.mode = LayoutMode::kCasper;
+  // Keep adapting online: the engine observes live traffic and re-partitions
+  // chunks whose trained layout has drifted from what actually runs.
+  options.maintenance.enabled = true;
+  CasperEngine engine = CasperEngine::Open(std::move(options));
   std::printf("engine open: %zu rows under the %s layout\n", engine.num_rows(),
               std::string(engine.layout().name()).c_str());
 
@@ -66,5 +73,14 @@ int main() {
   const auto mem = engine.MemoryStats();
   std::printf("memory amplification: %.3fx (%zu bytes total)\n",
               mem.Amplification(), mem.total_bytes);
+
+  // 5. One maintenance cycle on demand (background mode runs these on a
+  //    timer): the service replays what it observed above against the cost
+  //    model and re-partitions any chunk whose layout has diverged.
+  const MaintenanceCycleReport cycle = engine.maintenance()->RunCycle();
+  std::printf("maintenance cycle: %zu ops captured, %zu chunks evaluated, "
+              "%zu re-partitioned\n",
+              cycle.ops_captured, cycle.chunks_evaluated,
+              cycle.chunks_repartitioned);
   return 0;
 }

@@ -5,8 +5,8 @@
 // a cliff far from it.
 #include <cstdio>
 
+#include "engine/casper_engine.h"
 #include "engine/harness.h"
-#include "layouts/layout_factory.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 #include "workload/hap.h"
@@ -32,13 +32,15 @@ int main() {
   auto evaluate = [&](const WorkloadSpec& actual) {
     Rng run_rng(33);
     auto ops = GenerateWorkload(actual, 8000, run_rng);
-    LayoutBuildOptions opts;
-    opts.mode = LayoutMode::kCasper;
+    EngineOptions opts;
+    opts.keys = data.keys;
+    opts.payload = data.payload;
     opts.training = &training;
-    auto engine = BuildLayout(opts, data.keys, data.payload);
+    opts.layout.mode = LayoutMode::kCasper;
+    CasperEngine engine = CasperEngine::Open(std::move(opts));
     HarnessOptions hopts;
     hopts.record_latency = false;
-    HarnessResult r = RunWorkload(*engine, ops, hopts);
+    HarnessResult r = RunWorkload(engine.layout(), ops, hopts);
     return r.seconds * 1e6 / static_cast<double>(r.ops);
   };
 
@@ -59,8 +61,9 @@ int main() {
                 us / base_us);
   }
 
-  std::printf("\nIf your drift regularly exceeds the flat region, retrain the\n"
-              "layout periodically (paper §1 'Positioning': online re-analysis)\n"
-              "or train on a widened workload sample.\n");
+  std::printf("\nIf your drift regularly exceeds the flat region, enable the\n"
+              "online maintenance service (EngineOptions::maintenance — the\n"
+              "paper §1 'Positioning' online re-analysis loop) or train on a\n"
+              "widened workload sample.\n");
   return 0;
 }

@@ -6,8 +6,8 @@
 #include <cstdio>
 #include <string>
 
+#include "engine/casper_engine.h"
 #include "engine/harness.h"
-#include "layouts/layout_factory.h"
 #include "layouts/partitioned.h"
 #include "model/access_cost.h"
 #include "util/rng.h"
@@ -45,13 +45,15 @@ int main() {
   std::printf("%-26s %10s %12s %12s %14s %12s\n", "configuration", "parts",
               "max width", "Q1 (us)", "Q4 p99.9 (us)", "Kops/s");
   for (const Config& cfg : configs) {
-    LayoutBuildOptions opts;
-    opts.mode = LayoutMode::kCasper;
+    EngineOptions opts;
+    opts.keys = data.keys;
+    opts.payload = data.payload;
     opts.training = &training;
-    opts.planner.update_sla_ns = cfg.update_sla_ns;
-    opts.planner.read_sla_ns = cfg.read_sla_ns;
-    auto engine = BuildLayout(opts, data.keys, data.payload);
-    auto* pl = dynamic_cast<PartitionedLayout*>(engine.get());
+    opts.layout.mode = LayoutMode::kCasper;
+    opts.layout.planner.update_sla_ns = cfg.update_sla_ns;
+    opts.layout.planner.read_sla_ns = cfg.read_sla_ns;
+    CasperEngine engine = CasperEngine::Open(std::move(opts));
+    auto* pl = dynamic_cast<PartitionedLayout*>(&engine.layout());
     size_t parts = 0, max_width = 0;
     for (size_t ci = 0; ci < pl->table().num_chunks(); ++ci) {
       const auto& chunk = pl->table().key_chunk(ci);
@@ -60,7 +62,7 @@ int main() {
         max_width = std::max(max_width, chunk.partition(t).cap);
       }
     }
-    HarnessResult r = RunWorkload(*engine, live);
+    HarnessResult r = RunWorkload(engine.layout(), live);
     std::printf("%-26s %10zu %12zu %12.2f %14.2f %12.1f\n", cfg.name, parts,
                 max_width, r.Rec(OpKind::kPointQuery).MeanMicros(),
                 r.Rec(OpKind::kInsert).PercentileMicros(0.999),

@@ -2,27 +2,55 @@
 
 #include "exec/concurrent_query_runner.h"
 #include "exec/parallel_executor.h"
+#include "layouts/partitioned.h"
 #include "util/status.h"
 
 namespace casper {
 
-CasperEngine CasperEngine::Open(LayoutBuildOptions options, std::vector<Value> keys,
-                                std::vector<std::vector<Payload>> payload,
-                                const std::vector<Operation>* training) {
-  if (training != nullptr) options.training = training;
+CasperEngine CasperEngine::Open(EngineOptions options) {
+  LayoutBuildOptions build = options.layout;
+  if (options.training != nullptr) build.training = options.training;
+  if (options.pool != nullptr) build.pool = options.pool;
+  if (options.exec_threads > 0) build.exec_threads = options.exec_threads;
   // One pool serves the whole stack: frequency-model capture and per-chunk
   // layout solves during the build, then shard fan-out at query time.
   std::unique_ptr<ThreadPool> owned;
-  if (options.pool == nullptr && options.exec_threads > 1) {
-    owned = std::make_unique<ThreadPool>(options.exec_threads);
-    options.pool = owned.get();
+  if (build.pool == nullptr && build.exec_threads > 1) {
+    owned = std::make_unique<ThreadPool>(build.exec_threads);
+    build.pool = owned.get();
   }
-  ThreadPool* pool = options.pool;
-  auto layout = BuildLayout(options, std::move(keys), std::move(payload));
-  return CasperEngine(std::move(layout), std::move(owned), pool);
+  ThreadPool* pool = build.pool;
+  auto layout = BuildLayout(build, std::move(options.keys),
+                            std::move(options.payload));
+  CasperEngine engine(std::move(layout), std::move(owned), pool);
+  if (options.maintenance.enabled) {
+    // Only the partitioned family has tunable partition geometry; other
+    // layouts get no service (engine.maintenance() stays null).
+    auto* partitioned = dynamic_cast<PartitionedLayout*>(engine.engine_.get());
+    if (partitioned != nullptr) {
+      engine.maintenance_ = std::make_unique<LayoutMaintenanceService>(
+          partitioned, options.maintenance, ResolvePlannerOptions(build),
+          build.block_values);
+      if (options.maintenance.background) engine.maintenance_->Start();
+    }
+  }
+  return engine;
+}
+
+CasperEngine CasperEngine::Open(LayoutBuildOptions options,
+                                std::vector<Value> keys,
+                                std::vector<std::vector<Payload>> payload,
+                                const std::vector<Operation>* training) {
+  EngineOptions eopts;
+  eopts.keys = std::move(keys);
+  eopts.payload = std::move(payload);
+  eopts.training = training;
+  eopts.layout = std::move(options);
+  return Open(std::move(eopts));
 }
 
 ScanPartial CasperEngine::ExecuteScan(const ScanSpec& spec) const {
+  if (maintenance_ != nullptr) maintenance_->ObserveSpec(spec);
   return ParallelExecutor(pool_).ExecuteScan(*engine_, spec);
 }
 
@@ -61,10 +89,12 @@ uint64_t CasperEngine::AvgBetween(Value lo, Value hi, size_t col) const {
 
 std::vector<uint64_t> CasperEngine::RunConcurrent(
     const std::vector<Operation>& queries) const {
+  if (maintenance_ != nullptr) maintenance_->ObserveAll(queries);
   return ConcurrentQueryRunner(pool_).Run(*engine_, queries);
 }
 
 MixedResult CasperEngine::RunMixed(const std::vector<Operation>& ops) {
+  if (maintenance_ != nullptr) maintenance_->ObserveAll(ops);
   return MixedWorkloadRunner(pool_, oracle_.get()).Run(*engine_, ops);
 }
 

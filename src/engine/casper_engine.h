@@ -8,10 +8,43 @@
 #include "exec/scan_spec.h"
 #include "layouts/layout_engine.h"
 #include "layouts/layout_factory.h"
+#include "maintenance/layout_maintenance.h"
 #include "util/thread_pool.h"
 #include "workload/ops.h"
 
 namespace casper {
+
+/// One cohesive construction surface for the engine — the same
+/// collapse-to-one-surface move ScanSpec made for queries, now for engine
+/// construction and lifecycle. Everything Open needs rides in one value:
+/// the data, the layout build configuration, the execution parallelism, and
+/// the online maintenance policy.
+struct EngineOptions {
+  /// The loaded column: keys (unsorted ok) plus payload columns aligned by
+  /// row (payload[c][r] is column c+1 of row r).
+  std::vector<Value> keys;
+  std::vector<std::vector<Payload>> payload;
+
+  /// Training workload for kCasper mode (overrides layout.training when
+  /// set). May alias the workload later replayed (offline tuning) or an
+  /// approximation of it (robustness experiments).
+  const std::vector<Operation>* training = nullptr;
+
+  /// Layout build configuration: mode, chunk/block geometry, ghost budget,
+  /// planner knobs (layouts/layout_factory.h).
+  LayoutBuildOptions layout;
+
+  /// Execution parallelism: exec_threads > 1 makes the engine create and
+  /// own a pool; a non-null pool is used instead (both override the
+  /// equivalent fields inside `layout`). 0 / nullptr = fully serial.
+  size_t exec_threads = 0;
+  ThreadPool* pool = nullptr;
+
+  /// Online adaptive re-layout policy (maintenance/layout_maintenance.h).
+  /// Takes effect only for the partitioned layout family — other layouts
+  /// have no tunable partition geometry and get no service.
+  MaintenanceOptions maintenance;
+};
 
 /// The Casper storage engine facade — the generic storage-engine API of
 /// paper §6.4: "(i) scanning an entire column (or groups of columns),
@@ -30,12 +63,24 @@ namespace casper {
 /// and per-chunk layout solves at Open() time, morsel-driven shard fan-out
 /// for scans/range reads, and chunk-grouped batched writes — with results
 /// bit-identical to serial execution.
+///
+/// Maintenance: with options.maintenance.enabled, the engine owns a
+/// LayoutMaintenanceService that observes every query/write issued through
+/// this facade and re-partitions diverged chunks under their exclusive
+/// latches while queries keep flowing (see maintenance/layout_maintenance.h
+/// for the capture → detect → re-partition loop).
 class CasperEngine {
  public:
-  /// Loads `keys` / `payload` (unsorted ok) under the requested layout.
-  /// `training` feeds the optimizer in kCasper mode and is ignored
-  /// otherwise; it may alias the workload later replayed (offline tuning) or
-  /// an approximation of it (robustness experiments).
+  /// The unified construction surface.
+  static CasperEngine Open(EngineOptions options);
+
+  /// Legacy construction facade, kept so callers migrate incrementally;
+  /// forwards to Open(EngineOptions) with maintenance disabled. Build with
+  /// -DCASPER_STRICT_API=ON to surface remaining callers as deprecation
+  /// errors.
+#if defined(CASPER_STRICT_API)
+  [[deprecated("use CasperEngine::Open(EngineOptions)")]]
+#endif
   static CasperEngine Open(LayoutBuildOptions options, std::vector<Value> keys,
                            std::vector<std::vector<Payload>> payload,
                            const std::vector<Operation>* training = nullptr);
@@ -45,6 +90,9 @@ class CasperEngine {
 
   // (ii) Point search.
   size_t Find(Value key, std::vector<Payload>* payload = nullptr) const {
+    if (maintenance_ != nullptr) {
+      maintenance_->Observe({OpKind::kPointQuery, key, 0});
+    }
     return engine_->PointLookup(key, payload);
   }
 
@@ -52,6 +100,11 @@ class CasperEngine {
   /// destination chunk (routing amortized, chunk groups fanned over the
   /// pool) — the read-side mirror of ApplyBatch.
   std::vector<uint64_t> FindBatch(const std::vector<Value>& keys) const {
+    if (maintenance_ != nullptr) {
+      for (const Value key : keys) {
+        maintenance_->Observe({OpKind::kPointQuery, key, 0});
+      }
+    }
     return engine_->LookupBatch(keys, pool_);
   }
 
@@ -72,6 +125,9 @@ class CasperEngine {
 
   // (iv) Insert.
   void Insert(Value key, const std::vector<Payload>& payload) {
+    if (maintenance_ != nullptr) {
+      maintenance_->Observe({OpKind::kInsert, key, 0});
+    }
     engine_->Insert(key, payload);
   }
 
@@ -79,26 +135,42 @@ class CasperEngine {
   /// caller-supplied rows through the layout's grouped, latch-protected
   /// write path, fanned over the pool where the layout allows.
   void InsertRows(const std::vector<Row>& rows) {
+    if (maintenance_ != nullptr) {
+      for (const Row& row : rows) {
+        maintenance_->Observe({OpKind::kInsert, row.key, 0});
+      }
+    }
     engine_->InsertRows(rows.data(), rows.size(), pool_);
   }
 
   // (v) Update / delete.
   bool Update(Value old_key, Value new_key) {
+    if (maintenance_ != nullptr) {
+      maintenance_->Observe({OpKind::kUpdate, old_key, new_key});
+    }
     return engine_->UpdateKey(old_key, new_key);
   }
-  size_t Delete(Value key) { return engine_->Delete(key); }
+  size_t Delete(Value key) {
+    if (maintenance_ != nullptr) {
+      maintenance_->Observe({OpKind::kDelete, key, 0});
+    }
+    return engine_->Delete(key);
+  }
 
   /// Batched operations: write runs are grouped by destination chunk/shard
   /// and point-query runs by destination chunk (both fanned over the pool
   /// when attached); results are identical to applying the ops one-by-one.
   BatchResult ApplyBatch(const std::vector<Operation>& ops) {
+    if (maintenance_ != nullptr) maintenance_->ObserveAll(ops);
     return engine_->ApplyBatch(ops.data(), ops.size(), pool_);
   }
 
   /// Inter-query parallelism: admits the read-only queries (point / range
   /// count / range sum) to a ConcurrentQueryRunner sharing this engine's
   /// pool. results[i] is bit-identical to issuing queries[i] alone,
-  /// serially. The engine must be quiescent (no concurrent writes).
+  /// serially. The engine must be quiescent (no concurrent writes;
+  /// background maintenance is fine — re-partitioning preserves the logical
+  /// rows and takes the same exclusive latches a writer would).
   std::vector<uint64_t> RunConcurrent(const std::vector<Operation>& queries) const;
 
   /// Mixed-workload admission: read queries and write runs execute together,
@@ -118,6 +190,10 @@ class CasperEngine {
   /// Pool used for parallel execution; nullptr when running serial.
   ThreadPool* pool() const { return pool_; }
 
+  /// The adaptive re-layout service; nullptr when maintenance is disabled
+  /// or the layout has no tunable partition geometry.
+  LayoutMaintenanceService* maintenance() const { return maintenance_.get(); }
+
   LayoutEngine& layout() { return *engine_; }
   const LayoutEngine& layout() const { return *engine_; }
 
@@ -135,6 +211,9 @@ class CasperEngine {
   /// Stamps mixed-run write commits (unique_ptr keeps the engine movable —
   /// the oracle's atomic counter is not).
   std::unique_ptr<TimestampOracle> oracle_;
+  /// Declared last: destroyed first, so the background thread joins while
+  /// the layout it re-partitions is still alive.
+  std::unique_ptr<LayoutMaintenanceService> maintenance_;
 };
 
 }  // namespace casper

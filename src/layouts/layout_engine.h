@@ -144,6 +144,17 @@ class LayoutEngine {
   /// Structural self-check (test hook); default no-op.
   virtual void ValidateInvariants() const {}
 
+  /// Unified stats read surface: one coherent per-chunk counter snapshot.
+  /// Dashboards, advisors, and the layout maintenance service all consume
+  /// this instead of per-layout snapshot loops. Layouts without per-chunk
+  /// accounting return an empty registry.
+  virtual StatsSnapshotRegistry StatsSnapshots() const { return {}; }
+
+  /// Hash of the physical layout geometry (partition boundaries and
+  /// capacities). Stable across reads; changed by online re-partitioning.
+  /// Layouts without tunable geometry return 0.
+  virtual uint64_t LayoutFingerprint() const { return 0; }
+
   // --- Concurrency-control surface (epoch/latch domains) -------------------
 
   /// Number of independent latch domains. The partitioned layouts expose one

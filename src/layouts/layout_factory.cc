@@ -100,16 +100,7 @@ std::unique_ptr<LayoutEngine> BuildPartitioned(
     WorkloadCapture capture(keys, counts, options.block_values);
     capture.CaptureAll(*options.training, options.pool);
 
-    PlannerOptions planner = options.planner;
-    planner.ghost_fraction = options.ghost_fraction;
-    if (planner.max_partitions == 0) planner.max_partitions = options.equi_partitions;
-    if (options.calibrate_costs) {
-      // Preserve any SLA the caller expressed in pre-calibration units by
-      // keeping index_probe; only the four access constants are replaced.
-      const double probe = planner.costs.index_probe;
-      planner.costs = CalibrateEngineCosts(options.block_values);
-      planner.costs.index_probe = probe;
-    }
+    const PlannerOptions planner = ResolvePlannerOptions(options);
 
     std::vector<ChunkPlan> plans = LayoutPlanner::PlanChunks(
         capture.models(), options.chunk_values, planner, options.pool);
@@ -151,6 +142,20 @@ std::unique_ptr<LayoutEngine> BuildPartitioned(
 }
 
 }  // namespace
+
+PlannerOptions ResolvePlannerOptions(const LayoutBuildOptions& options) {
+  PlannerOptions planner = options.planner;
+  planner.ghost_fraction = options.ghost_fraction;
+  if (planner.max_partitions == 0) planner.max_partitions = options.equi_partitions;
+  if (options.calibrate_costs) {
+    // Preserve any SLA the caller expressed in pre-calibration units by
+    // keeping index_probe; only the four access constants are replaced.
+    const double probe = planner.costs.index_probe;
+    planner.costs = CalibrateEngineCosts(options.block_values);
+    planner.costs.index_probe = probe;
+  }
+  return planner;
+}
 
 std::unique_ptr<LayoutEngine> BuildLayout(const LayoutBuildOptions& options,
                                           std::vector<Value> keys,

@@ -71,6 +71,14 @@ struct LayoutBuildOptions {
   size_t exec_threads = 0;
 };
 
+/// The planner options the factory actually solves with, after folding in
+/// the build-level knobs: ghost_fraction and the equi-partition fairness cap
+/// override the planner's own fields, and (when calibrate_costs is set) the
+/// access-cost constants are micro-benchmarked for this machine and block
+/// size. Exposed so the online maintenance service re-solves chunks under
+/// exactly the configuration the original build used.
+PlannerOptions ResolvePlannerOptions(const LayoutBuildOptions& options);
+
 /// Builds a layout engine over the given rows (keys may be unsorted; every
 /// mode except NoOrder sorts internally, carrying payload columns along).
 std::unique_ptr<LayoutEngine> BuildLayout(const LayoutBuildOptions& options,

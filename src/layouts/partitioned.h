@@ -101,6 +101,19 @@ class PartitionedLayout final : public LayoutEngine {
   }
   void ValidateInvariants() const override { table_.ValidateInvariants(); }
 
+  StatsSnapshotRegistry StatsSnapshots() const override {
+    return table_.StatsSnapshots();
+  }
+  uint64_t LayoutFingerprint() const override {
+    return table_.LayoutFingerprint();
+  }
+
+  /// Maintenance entry point: rebuild chunk c's partitioning in place under
+  /// its exclusive latch (queries keep flowing on every other chunk).
+  bool RepartitionChunk(size_t c, const PartitionedTable::ChunkLayoutSpec& spec) {
+    return table_.RepartitionChunk(c, spec);
+  }
+
   const PartitionedTable& table() const { return table_; }
   PartitionedTable& mutable_table() { return table_; }
 

@@ -1,0 +1,239 @@
+#include "maintenance/layout_maintenance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "layouts/partitioned.h"
+#include "model/cost_model.h"
+#include "storage/table.h"
+#include "workload/capture.h"
+
+namespace casper {
+
+LayoutMaintenanceService::LayoutMaintenanceService(PartitionedLayout* layout,
+                                                   MaintenanceOptions options,
+                                                   PlannerOptions planner,
+                                                   size_t block_values)
+    : layout_(layout),
+      options_(options),
+      planner_(planner),
+      block_values_(block_values) {
+  MutexLock lock(buf_mu_);
+  ring_.resize(std::max<size_t>(1, options_.max_buffered_ops));
+}
+
+LayoutMaintenanceService::~LayoutMaintenanceService() { Stop(); }
+
+void LayoutMaintenanceService::ObserveLocked(const Operation& op) {
+  if (ring_count_ == ring_.size()) {
+    // Full: overwrite the oldest observation — the live model wants recency.
+    ring_[ring_start_] = op;
+    ring_start_ = (ring_start_ + 1) % ring_.size();
+    dropped_.Add(1);
+  } else {
+    ring_[(ring_start_ + ring_count_) % ring_.size()] = op;
+    ++ring_count_;
+  }
+  observed_.Add(1);
+}
+
+void LayoutMaintenanceService::Observe(const Operation& op) {
+  MutexLock lock(buf_mu_);
+  ObserveLocked(op);
+}
+
+void LayoutMaintenanceService::ObserveAll(const std::vector<Operation>& ops) {
+  MutexLock lock(buf_mu_);
+  for (const Operation& op : ops) ObserveLocked(op);
+}
+
+void LayoutMaintenanceService::ObserveSpec(const ScanSpec& spec) {
+  if (spec.full_domain || spec.EmptyKeyRange()) return;
+  Operation op;
+  op.a = spec.lo;
+  op.b = spec.hi;
+  switch (spec.agg.kind) {
+    case AggKind::kCount:
+      op.kind = OpKind::kRangeCount;
+      break;
+    case AggKind::kSum:
+    case AggKind::kSumProduct:
+      op.kind = OpKind::kRangeSum;
+      break;
+    case AggKind::kMin:
+      op.kind = OpKind::kRangeMin;
+      break;
+    case AggKind::kMax:
+      op.kind = OpKind::kRangeMax;
+      break;
+    case AggKind::kAvg:
+      op.kind = OpKind::kRangeAvg;
+      break;
+  }
+  Observe(op);
+}
+
+Partitioning LayoutMaintenanceService::CurrentPartitioning(
+    size_t c, size_t num_blocks) const {
+  std::vector<size_t> sizes;
+  layout_->table().SnapshotChunkPartitionSizes(c, &sizes);
+  // Map cumulative live partition sizes onto boundary bits at block
+  // granularity. Partitions drift off block boundaries as writes land, so
+  // this is the nearest block-aligned description of the current geometry —
+  // the same granularity the solver prices, making the two costs comparable.
+  std::vector<uint8_t> bits(num_blocks, 0);
+  size_t cum = 0;
+  for (const size_t sz : sizes) {
+    cum += sz;
+    if (cum == 0) continue;
+    bits[std::min(num_blocks - 1, (cum - 1) / block_values_)] = 1;
+  }
+  bits[num_blocks - 1] = 1;
+  return Partitioning::FromBoundaryBits(std::move(bits));
+}
+
+MaintenanceCycleReport LayoutMaintenanceService::RunCycle() {
+  MaintenanceCycleReport report;
+  MutexLock cycle(cycle_mu_);
+  cycles_.Add(1);
+
+  // Drain the observation ring (oldest first).
+  std::vector<Operation> ops;
+  {
+    MutexLock lock(buf_mu_);
+    ops.reserve(ring_count_);
+    for (size_t i = 0; i < ring_count_; ++i) {
+      ops.push_back(ring_[(ring_start_ + i) % ring_.size()]);
+    }
+    ring_start_ = 0;
+    ring_count_ = 0;
+  }
+  report.ops_captured = ops.size();
+  if (ops.size() < options_.min_cycle_ops) return report;
+
+  // Snapshot the live data: per-chunk sorted keys under shared latches.
+  // Chunks cover ascending key ranges, so the concatenation is globally
+  // sorted — exactly the input WorkloadCapture routed at build time. Empty
+  // chunks are skipped (nothing to re-partition there) with an index map.
+  const PartitionedTable& table = layout_->table();
+  const size_t num_chunks = table.num_chunks();
+  std::vector<Value> sorted_keys;
+  std::vector<size_t> chunk_rows;
+  std::vector<size_t> present;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    std::vector<Value> keys;
+    table.SnapshotChunkSortedKeys(c, &keys);
+    if (keys.empty()) continue;
+    present.push_back(c);
+    chunk_rows.push_back(keys.size());
+    sorted_keys.insert(sorted_keys.end(), keys.begin(), keys.end());
+  }
+  if (present.empty()) return report;
+
+  WorkloadCapture capture(sorted_keys, chunk_rows, block_values_);
+  capture.CaptureAll(ops);
+
+  // Fold the fresh capture into the decayed live models. Rescale bridges
+  // block-count changes (chunk grew/shrank since the last cycle).
+  if (live_.size() != num_chunks) live_.assign(num_chunks, FrequencyModel());
+  struct Candidate {
+    size_t chunk;
+    size_t rows;
+    double activity;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < present.size(); ++i) {
+    const size_t c = present[i];
+    const FrequencyModel& fresh = capture.models()[i];
+    FrequencyModel& live = live_[c];
+    if (live.num_blocks() != fresh.num_blocks()) {
+      live = live.num_blocks() == 0 ? FrequencyModel(fresh.num_blocks())
+                                    : live.Rescale(fresh.num_blocks());
+    }
+    live.Scale(options_.decay);
+    live.Merge(fresh);
+    if (live.Empty()) continue;
+    candidates.push_back({c, chunk_rows[i], fresh.total_operations()});
+  }
+  // Most-active chunks first: under the per-cycle cap, the hottest diverged
+  // chunks get fixed now, colder ones next cycle.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.activity != b.activity) return a.activity > b.activity;
+              return a.chunk < b.chunk;
+            });
+
+  for (const Candidate& cand : candidates) {
+    if (report.chunks_repartitioned >= options_.max_chunks_per_cycle) break;
+    ++report.chunks_evaluated;
+    evaluated_.Add(1);
+
+    const FrequencyModel& live = live_[cand.chunk];
+    const CostTerms terms = CostTerms::Compute(live, planner_.costs);
+    const double current_cost =
+        EvaluateLayoutCost(terms, CurrentPartitioning(cand.chunk, live.num_blocks()));
+    const ChunkPlan plan = LayoutPlanner::PlanChunk(live, cand.rows, planner_);
+    const double benefit = current_cost - plan.predicted_cost;
+    if (current_cost <= 0.0) continue;
+    if (benefit / current_cost < options_.divergence_threshold) continue;
+    // Amortization gate: the swap itself sequentially reads and rewrites
+    // every block of the chunk once.
+    const double move_blocks = std::ceil(static_cast<double>(cand.rows) /
+                                         static_cast<double>(block_values_));
+    if (benefit < move_blocks * (planner_.costs.sr + planner_.costs.sw)) continue;
+
+    PartitionedTable::ChunkLayoutSpec spec;
+    spec.partition_sizes = plan.PartitionValueSizes(block_values_, cand.rows);
+    spec.ghosts = plan.ghosts.per_partition;
+    if (layout_->RepartitionChunk(cand.chunk, spec)) {
+      ++report.chunks_repartitioned;
+      repartitioned_.Add(1);
+    }
+  }
+  return report;
+}
+
+void LayoutMaintenanceService::Start() {
+  if (worker_.joinable()) return;
+  {
+    MutexLock lock(thread_mu_);
+    stop_ = false;
+  }
+  worker_ = std::thread([this] { BackgroundLoop(); });
+}
+
+void LayoutMaintenanceService::Stop() {
+  if (!worker_.joinable()) return;
+  {
+    MutexLock lock(thread_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  worker_.join();
+}
+
+void LayoutMaintenanceService::BackgroundLoop() {
+  for (;;) {
+    {
+      MutexLock lock(thread_mu_);
+      wake_cv_.wait_for(lock.native(), options_.capture_interval, [this] {
+        thread_mu_.AssertHeld();
+        return stop_;
+      });
+      if (stop_) return;
+    }
+    RunCycle();
+  }
+}
+
+MaintenanceStats LayoutMaintenanceService::stats() const {
+  MaintenanceStats s;
+  s.cycles = cycles_.load();
+  s.ops_observed = observed_.load();
+  s.ops_dropped = dropped_.load();
+  s.chunks_evaluated = evaluated_.load();
+  s.chunks_repartitioned = repartitioned_.load();
+  return s;
+}
+
+}  // namespace casper

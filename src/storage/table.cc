@@ -571,6 +571,157 @@ size_t PartitionedTable::MemoryBytes() const {
   return bytes;
 }
 
+void PartitionedTable::SnapshotChunkSortedKeys(size_t c,
+                                               std::vector<Value>* out) const {
+  out->clear();
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  const auto& chunk = ch.keys;
+  out->reserve(chunk.size());
+  const std::vector<Value>& data = chunk.raw_data();
+  for (size_t t = 0; t < chunk.num_partitions(); ++t) {
+    const auto& p = chunk.partition(t);
+    const size_t first = out->size();
+    out->insert(out->end(), data.begin() + static_cast<ptrdiff_t>(p.begin),
+                data.begin() + static_cast<ptrdiff_t>(p.begin + p.size));
+    // Partitions hold disjoint ascending ranges but are unsorted inside;
+    // sorting each live run yields the chunk's global key order.
+    std::sort(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+  }
+}
+
+void PartitionedTable::SnapshotChunkPartitionSizes(size_t c,
+                                                   std::vector<size_t>* out) const {
+  out->clear();
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  out->reserve(ch.keys.num_partitions());
+  for (size_t t = 0; t < ch.keys.num_partitions(); ++t) {
+    out->push_back(ch.keys.partition(t).size);
+  }
+}
+
+bool PartitionedTable::RepartitionChunk(size_t c, const ChunkLayoutSpec& spec) {
+  if (spec.partition_sizes.empty()) return false;
+  TableChunk& ch = *chunks_[c];
+  ExclusiveChunkGuard guard(ch.latch);
+  if (ch.keys.size() == 0) return false;  // Build requires live data
+  RepartitionChunkLocked(ch, spec);
+  return true;
+}
+
+void PartitionedTable::RepartitionChunkLocked(TableChunk& ch,
+                                              const ChunkLayoutSpec& spec) {
+  const PartitionedColumnChunk& old_chunk = ch.keys;
+  const size_t n = old_chunk.size();
+
+  // Extract the live rows in key order: walk partitions (disjoint ascending
+  // ranges), sort each partition's live slots by key, and record the slot
+  // order so payload rows travel with their keys.
+  std::vector<Value> keys;
+  keys.reserve(n);
+  std::vector<uint32_t> slots;
+  slots.reserve(n);
+  const std::vector<Value>& data = old_chunk.raw_data();
+  std::vector<uint32_t> part_slots;
+  for (size_t t = 0; t < old_chunk.num_partitions(); ++t) {
+    const auto& p = old_chunk.partition(t);
+    part_slots.clear();
+    part_slots.reserve(p.size);
+    for (size_t s = p.begin; s < p.begin + p.size; ++s) {
+      part_slots.push_back(static_cast<uint32_t>(s));
+    }
+    std::stable_sort(part_slots.begin(), part_slots.end(),
+                     [&](uint32_t a, uint32_t b) { return data[a] < data[b]; });
+    for (const uint32_t s : part_slots) {
+      keys.push_back(data[s]);
+      slots.push_back(s);
+    }
+  }
+
+  // Clamp the requested cuts to the live count found at latch time: the plan
+  // was made against an earlier snapshot and writes may have landed since.
+  // Shrinkage empties trailing partitions (Build merges them away); growth
+  // is absorbed by the last partition.
+  std::vector<size_t> sizes = spec.partition_sizes;
+  size_t cum = 0;
+  for (size_t t = 0; t < sizes.size(); ++t) {
+    sizes[t] = std::min(sizes[t], n - cum);
+    cum += sizes[t];
+  }
+  sizes.back() += n - cum;
+  std::vector<size_t> ghosts = spec.ghosts;
+  ghosts.resize(sizes.size(), 0);
+
+  // Gather payload rows in the same sorted-live order before the key swap
+  // invalidates the old slot numbering.
+  std::vector<std::vector<Payload>> rows_by_col(payload_cols_);
+  for (size_t col = 0; col < payload_cols_; ++col) {
+    rows_by_col[col].reserve(n);
+    for (const uint32_t s : slots) {
+      rows_by_col[col].push_back(ch.payload[col][s]);
+    }
+  }
+
+  const ChunkStatsSnapshot carry = old_chunk.StatsSnapshot();
+  PartitionedColumnChunk new_chunk = PartitionedColumnChunk::Build(
+      std::move(keys), std::move(sizes), std::move(ghosts), opts_.chunk);
+
+  // Payload arrays mirror the new slot layout (values packed at the head of
+  // each partition region, free slots zero-filled) — same packing as Build.
+  std::vector<std::vector<Payload>> new_payload(payload_cols_);
+  for (size_t col = 0; col < payload_cols_; ++col) {
+    new_payload[col].assign(new_chunk.capacity(), 0);
+  }
+  size_t src = 0;
+  for (size_t t = 0; t < new_chunk.num_partitions(); ++t) {
+    const auto& p = new_chunk.partition(t);
+    for (size_t s = 0; s < p.size; ++s) {
+      for (size_t col = 0; col < payload_cols_; ++col) {
+        new_payload[col][p.begin + s] = rows_by_col[col][src + s];
+      }
+    }
+    src += p.size;
+  }
+
+  ch.keys = std::move(new_chunk);
+  ch.payload = std::move(new_payload);
+  // The access counters are frequency accounting the advisor and encoding
+  // gates keep consuming; they describe the data, not the geometry, so they
+  // survive the swap.
+  ChunkStats& stats = ch.keys.stats();
+  stats.element_reads.store(carry.element_reads);
+  stats.element_writes.store(carry.element_writes);
+  stats.ripple_steps.store(carry.ripple_steps);
+  stats.partitions_scanned.store(carry.partitions_scanned);
+  stats.partitions_pruned.store(carry.partitions_pruned);
+  stats.blocks_scanned.store(carry.blocks_scanned);
+  stats.compressed_scans.store(carry.compressed_scans);
+  stats.compressed_payload_scans.store(carry.compressed_payload_scans);
+  stats.payload_partitions_pruned.store(carry.payload_partitions_pruned);
+  stats.grows.store(carry.grows);
+}
+
+uint64_t PartitionedTable::LayoutFingerprint() const {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const TableChunk& ch = *chunks_[c];
+    SharedChunkGuard guard(ch.latch);
+    mix(ch.keys.num_partitions());
+    for (size_t t = 0; t < ch.keys.num_partitions(); ++t) {
+      const auto& p = ch.keys.partition(t);
+      mix(p.begin);
+      mix(p.cap);
+      mix(static_cast<uint64_t>(p.upper));
+    }
+  }
+  return h;
+}
+
 void PartitionedTable::ValidateInvariants() const {
   size_t live = 0;
   for (size_t c = 0; c < chunks_.size(); ++c) {

@@ -210,6 +210,47 @@ class PartitionedTable {
     }
   }
 
+  /// Unified stats read surface: one CoherentStatsSnapshot per chunk (the
+  /// LayoutEngine::StatsSnapshots surface for partitioned layouts).
+  StatsSnapshotRegistry StatsSnapshots() const {
+    StatsSnapshotRegistry reg;
+    reg.per_chunk.reserve(chunks_.size());
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      reg.per_chunk.push_back(CoherentStatsSnapshot(c));
+    }
+    return reg;
+  }
+
+  // --- Online re-layout (maintenance surface) --------------------------------
+
+  /// Live keys of chunk c in sorted order, read under the chunk's shared
+  /// latch — the maintenance service's data snapshot for re-solving the
+  /// chunk's layout. Partitions cover disjoint ascending key ranges, so
+  /// sorting each partition's live run yields the chunk's global order.
+  void SnapshotChunkSortedKeys(size_t c, std::vector<Value>* out) const;
+
+  /// Live partition sizes of chunk c under its shared latch (the advisor's
+  /// view of the current geometry, for costing the layout as it stands).
+  void SnapshotChunkPartitionSizes(size_t c, std::vector<size_t>* out) const;
+
+  /// Rebuilds chunk c's physical layout to `spec` in place, under the
+  /// chunk's exclusive latch, while queries keep flowing on every other
+  /// chunk. Live rows are extracted in key order (payload carried along),
+  /// the requested partition cuts are clamped to the row count found at
+  /// latch time (writes may land between the advisor's snapshot and the
+  /// exclusive hold), and the chunk's access counters survive the swap. The
+  /// guard's epoch bump invalidates this chunk's compressed encodings
+  /// exactly as a write does. Chunk routing bounds are untouched — a chunk's
+  /// key range is a build-time constant; only its internal partitioning
+  /// changes. Returns false (no-op) for an empty chunk or an empty spec.
+  bool RepartitionChunk(size_t c, const ChunkLayoutSpec& spec);
+
+  /// FNV-1a hash over every chunk's partition geometry (region offsets,
+  /// capacities, routing uppers), read under shared latches. Stable across
+  /// reads; changes when a re-partition alters the physical layout — the
+  /// "disabled maintenance never mutates layout" test hook.
+  uint64_t LayoutFingerprint() const;
+
   // --- Introspection -----------------------------------------------------------
 
   size_t num_rows() const { return static_cast<size_t>(rows_.load()); }
@@ -256,6 +297,8 @@ class PartitionedTable {
   PartitionedTable() = default;
 
   size_t RouteChunk(Value key) const;
+  void RepartitionChunkLocked(TableChunk& chunk, const ChunkLayoutSpec& spec)
+      REQUIRES(chunk.latch);
   void ApplyMoveLog(TableChunk& chunk, const MoveLog& log,
                     const std::vector<Payload>* new_payload,
                     std::vector<Payload>* stash) REQUIRES(chunk.latch);

@@ -121,6 +121,32 @@ struct ChunkStatsSnapshot {
   uint64_t grows = 0;
 };
 
+/// The unified stats read surface: one coherent counter snapshot per chunk,
+/// as returned by LayoutEngine::StatsSnapshots(). Everything that used to
+/// hand-roll CoherentStatsSnapshot loops (dashboards, advisors, the layout
+/// maintenance service) reads this instead. Layouts without per-chunk
+/// accounting return an empty registry.
+struct StatsSnapshotRegistry {
+  std::vector<ChunkStatsSnapshot> per_chunk;
+
+  ChunkStatsSnapshot Totals() const {
+    ChunkStatsSnapshot t;
+    for (const ChunkStatsSnapshot& s : per_chunk) {
+      t.element_reads += s.element_reads;
+      t.element_writes += s.element_writes;
+      t.ripple_steps += s.ripple_steps;
+      t.partitions_scanned += s.partitions_scanned;
+      t.partitions_pruned += s.partitions_pruned;
+      t.blocks_scanned += s.blocks_scanned;
+      t.compressed_scans += s.compressed_scans;
+      t.compressed_payload_scans += s.compressed_payload_scans;
+      t.payload_partitions_pruned += s.payload_partitions_pruned;
+      t.grows += s.grows;
+    }
+    return t;
+  }
+};
+
 /// Data-movement accounting, used by tests to pin the ripple algorithms to
 /// the cost model and by benches for reporting. Counters are relaxed atomics
 /// because const read paths account their data movement too: concurrent

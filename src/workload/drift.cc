@@ -1,0 +1,118 @@
+#include "workload/drift.h"
+
+#include <memory>
+
+#include "util/distributions.h"
+
+namespace casper {
+
+namespace {
+
+std::shared_ptr<const Distribution> Hot(double start, double width) {
+  // 95% of the mass inside [start, start + width): hot enough that the
+  // solver's optimum visibly tracks the hotspot, with a uniform tail so no
+  // region is ever strictly untouched.
+  return std::make_shared<HotspotDistribution>(start, width, 0.95);
+}
+
+}  // namespace
+
+DriftScenario ShiftingHotRange(Value domain_lo, Value domain_hi, size_t steps) {
+  if (steps < 2) steps = 2;
+  DriftScenario s;
+  s.name = "shifting_hot_range";
+  s.training.domain_lo = domain_lo;
+  s.training.domain_hi = domain_hi;
+  // Reads forecast on the low fifth; uniform insert mass makes partition
+  // boundaries cost something everywhere, so the solver leaves the cold
+  // high region COARSE — exactly the geometry the drifted reads punish.
+  s.training.mix.point_query = 0.75;
+  s.training.mix.range_count = 0.05;
+  s.training.mix.insert = 0.20;
+  s.training.read_target = Hot(0.05, 0.20);
+  s.training.range_selectivity = 0.002;
+
+  // The hot range walks from the trained low region to the top of the
+  // domain, one step per phase; phases are read-only.
+  for (size_t i = 0; i < steps; ++i) {
+    DriftPhase phase;
+    const double start =
+        0.05 + (0.70 * static_cast<double>(i + 1)) / static_cast<double>(steps);
+    phase.label = "hot@" + std::to_string(static_cast<int>(start * 100)) + "%";
+    phase.spec = s.training;
+    phase.spec.mix = OperationMix{};
+    phase.spec.mix.point_query = 0.85;
+    phase.spec.mix.range_count = 0.15;
+    phase.spec.read_target = Hot(start, 0.20);
+    s.phases.push_back(std::move(phase));
+  }
+  return s;
+}
+
+DriftScenario ReadWriteFlip(Value domain_lo, Value domain_hi) {
+  DriftScenario s;
+  s.name = "read_write_flip";
+  s.training.domain_lo = domain_lo;
+  s.training.domain_hi = domain_hi;
+  s.training.mix.point_query = 0.80;
+  s.training.mix.range_count = 0.10;
+  s.training.mix.insert = 0.10;
+  s.training.read_target = Hot(0.10, 0.40);
+  s.training.write_target = Hot(0.10, 0.40);
+
+  // Live traffic flips write-heavy onto a narrow high band the trained
+  // layout left fine-partitioned for reads and nearly ghost-free.
+  DriftPhase flip;
+  flip.label = "write_heavy";
+  flip.spec = s.training;
+  flip.spec.mix = OperationMix{};
+  flip.spec.mix.insert = 0.55;
+  flip.spec.mix.del = 0.15;
+  flip.spec.mix.point_query = 0.30;
+  flip.spec.write_target = Hot(0.75, 0.10);
+  flip.spec.read_target = Hot(0.75, 0.10);
+  s.phases.push_back(std::move(flip));
+  // A second identical phase: divergence must persist, not be a one-sample
+  // artifact the decay immediately forgets.
+  s.phases.push_back(s.phases.back());
+  s.phases.back().label = "write_heavy_2";
+  return s;
+}
+
+DriftScenario DiurnalBurst(Value domain_lo, Value domain_hi, size_t days) {
+  if (days == 0) days = 1;
+  DriftScenario s;
+  s.name = "diurnal_burst";
+  s.training.domain_lo = domain_lo;
+  s.training.domain_hi = domain_hi;
+  s.training.mix.point_query = 0.60;
+  s.training.mix.range_count = 0.20;
+  s.training.mix.insert = 0.20;
+  s.training.read_target = Hot(0.40, 0.20);
+
+  for (size_t d = 0; d < days; ++d) {
+    DriftPhase day;
+    day.label = "day" + std::to_string(d);
+    day.spec = s.training;
+    day.spec.mix = OperationMix{};
+    day.spec.mix.point_query = 0.55;
+    day.spec.mix.range_count = 0.40;
+    day.spec.mix.range_sum = 0.05;
+    day.spec.read_target = Hot(0.30, 0.25);
+    day.spec.range_selectivity = 0.01;
+    s.phases.push_back(std::move(day));
+
+    DriftPhase night;
+    night.label = "night" + std::to_string(d);
+    night.spec = s.training;
+    night.spec.mix = OperationMix{};
+    night.spec.mix.insert = 0.70;
+    night.spec.mix.point_query = 0.30;
+    night.spec.write_target = Hot(0.85, 0.10);
+    night.spec.read_target = Hot(0.85, 0.10);
+    s.phases.push_back(std::move(night));
+  }
+  return s;
+}
+
+}  // namespace casper

@@ -1,0 +1,50 @@
+#ifndef CASPER_WORKLOAD_DRIFT_H_
+#define CASPER_WORKLOAD_DRIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace casper {
+
+/// One phase of a drifting workload: a label plus the spec live traffic is
+/// drawn from while the phase lasts.
+struct DriftPhase {
+  std::string label;
+  WorkloadSpec spec;
+};
+
+/// A named drift scenario: the training spec the layout is solved against at
+/// Open, then a sequence of live phases that walk away from that forecast.
+/// The adaptive-maintenance tests and the bench_fig16 static-vs-adaptive
+/// axis both replay these, so "drift" means the same thing in both places.
+struct DriftScenario {
+  std::string name;
+  WorkloadSpec training;
+  std::vector<DriftPhase> phases;
+};
+
+/// Point-read hotspot that migrates across the domain: training concentrates
+/// reads on the low fifth (plus uniform insert mass, so the solver leaves the
+/// cold region coarsely partitioned), then each phase moves the read hotspot
+/// further up — by the last phase the hot range sits where the layout is
+/// coarsest. Phases are read-only (point queries + range counts), so every
+/// runner admits them and engines stay bit-comparable. `steps` >= 2.
+DriftScenario ShiftingHotRange(Value domain_lo, Value domain_hi,
+                               size_t steps = 4);
+
+/// Read-mostly forecast, write-heavy reality: training is point-read-heavy
+/// over the low half; live phases flip to insert/delete-dominated traffic
+/// hammering a narrow high region the trained layout gave no ghost budget.
+DriftScenario ReadWriteFlip(Value domain_lo, Value domain_hi);
+
+/// Diurnal burst: alternating "day" phases (analytics — range reads over a
+/// mid-domain hot band) and "night" phases (ingest bursts near the domain
+/// top), for `days` day/night pairs. Exercises the decay: the service must
+/// keep adapting as each regime returns instead of averaging both forever.
+DriftScenario DiurnalBurst(Value domain_lo, Value domain_hi, size_t days = 2);
+
+}  // namespace casper
+
+#endif  // CASPER_WORKLOAD_DRIFT_H_
