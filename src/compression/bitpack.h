@@ -59,6 +59,28 @@ class BitPackedArray {
   /// (kernels::CountPackedInRange / SumPacked): scans evaluate predicates on
   /// the packed words directly instead of Get()-ing one element at a time.
   const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  /// Word count an array of `count` values at `bit_width` occupies — the
+  /// on-disk length contract shared by WordsFor round-trips.
+  static size_t WordsFor(size_t count, unsigned bit_width) {
+    return (count * bit_width + 63) / 64 + 1;
+  }
+
+  /// Reassembles an array from its serialized pieces (the on-disk chunk
+  /// format stores count, width, and the packed words verbatim). The word
+  /// vector must have exactly the length the constructor would allocate.
+  static BitPackedArray FromWords(size_t count, unsigned bit_width,
+                                  std::vector<uint64_t> words) {
+    CASPER_CHECK(bit_width <= 64);
+    CASPER_CHECK_MSG(words.size() == WordsFor(count, bit_width),
+                     "packed word count does not match geometry");
+    BitPackedArray a;
+    a.count_ = count;
+    a.width_ = bit_width;
+    a.words_ = std::move(words);
+    return a;
+  }
 
  private:
   size_t count_ = 0;

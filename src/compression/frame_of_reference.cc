@@ -51,6 +51,26 @@ void FrameOfReferenceColumn::BuildFrames(const std::vector<Value>& values,
   CASPER_CHECK_MSG(begin == values.size(), "frames must cover all values");
 }
 
+FrameOfReferenceColumn FrameOfReferenceColumn::FromFrames(
+    std::vector<FramePieces> frames, size_t count) {
+  FrameOfReferenceColumn col;
+  col.count_ = count;
+  size_t begin = 0;
+  for (FramePieces& piece : frames) {
+    CASPER_CHECK_MSG(piece.begin == begin && piece.offsets.size() > 0,
+                     "frames must be contiguous from position 0");
+    Frame f;
+    f.reference = piece.reference;
+    f.max = piece.max;
+    f.begin = piece.begin;
+    f.offsets = std::move(piece.offsets);
+    begin += f.offsets.size();
+    col.frames_.push_back(std::move(f));
+  }
+  CASPER_CHECK_MSG(begin == count, "frames must cover all values");
+  return col;
+}
+
 size_t FrameOfReferenceColumn::size() const { return count_; }
 
 Value FrameOfReferenceColumn::Get(size_t i) const {

@@ -67,6 +67,31 @@ class FrameOfReferenceColumn {
   size_t num_frames() const { return frames_.size(); }
   unsigned frame_bit_width(size_t f) const { return frames_[f].offsets.bit_width(); }
 
+  // --- Serialization surface (src/persist chunk format) ----------------------
+  // The on-disk codec writes each frame's reference/max/begin plus its packed
+  // words verbatim and reassembles the column without re-encoding, so a cold
+  // read scans exactly the words the warm cache held.
+
+  Value frame_reference(size_t f) const { return frames_[f].reference; }
+  Value frame_max(size_t f) const { return frames_[f].max; }
+  size_t frame_begin(size_t f) const { return frames_[f].begin; }
+  const BitPackedArray& frame_offsets(size_t f) const {
+    return frames_[f].offsets;
+  }
+
+  /// One deserialized frame (reference, zonemap max, global begin, words).
+  struct FramePieces {
+    Value reference = 0;
+    Value max = 0;
+    size_t begin = 0;
+    BitPackedArray offsets;
+  };
+
+  /// Reassembles a column from deserialized frames. Frames must be ordered,
+  /// contiguous from position 0, and cover `count` values exactly.
+  static FrameOfReferenceColumn FromFrames(std::vector<FramePieces> frames,
+                                           size_t count);
+
  private:
   struct Frame {
     Value reference;  // frame minimum
@@ -74,6 +99,8 @@ class FrameOfReferenceColumn {
     size_t begin;     // global position of the first value
     BitPackedArray offsets;
   };
+
+  FrameOfReferenceColumn() = default;
 
   void BuildFrames(const std::vector<Value>& values,
                    const std::vector<size_t>& frame_sizes);

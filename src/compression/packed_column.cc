@@ -53,6 +53,38 @@ std::shared_ptr<const PackedPayloadColumn> PackedPayloadColumn::Encode(
   return col;
 }
 
+std::shared_ptr<const PackedPayloadColumn> PackedPayloadColumn::FromParts(
+    PayloadEncoding enc, Payload base, std::vector<Payload> dict,
+    BitPackedArray packed) {
+  CASPER_CHECK(enc != PayloadEncoding::kRaw);
+  if (enc == PayloadEncoding::kDictionary) {
+    CASPER_CHECK_MSG(!dict.empty() && std::is_sorted(dict.begin(), dict.end()),
+                     "dictionary must be sorted and non-empty");
+  }
+  // NOLINTNEXTLINE(modernize-make-shared)
+  auto col = std::shared_ptr<PackedPayloadColumn>(new PackedPayloadColumn());
+  col->enc_ = enc;
+  col->base_ = enc == PayloadEncoding::kFrameOfReference ? base : 0;
+  col->dict_ = std::move(dict);
+  col->lut_.assign(col->dict_.begin(), col->dict_.end());
+  col->packed_ = std::move(packed);
+  // Rebuild the block prefix sums exactly as Encode would have: decoding
+  // position i reproduces the original value, and wrapping u64 accumulation
+  // is deterministic, so sums answered from a reassembled column stay
+  // bit-identical to the pre-serialization encoding.
+  const size_t blocks = col->packed_.size() / kSumBlock;
+  col->prefix_.resize(blocks + 1);
+  uint64_t acc = 0;
+  col->prefix_[0] = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    for (size_t i = 0; i < kSumBlock; ++i) {
+      acc += col->DecodeAt(b * kSumBlock + i);
+    }
+    col->prefix_[b + 1] = acc;
+  }
+  return col;
+}
+
 Payload PackedPayloadColumn::DecodeAt(size_t i) const {
   const uint64_t p = packed_.Get(i);
   if (enc_ == PayloadEncoding::kFrameOfReference) {

@@ -44,6 +44,16 @@ class PackedPayloadColumn {
   static std::shared_ptr<const PackedPayloadColumn> Encode(
       const std::vector<Payload>& values, PayloadEncoding enc);
 
+  /// Reassembles a column from its serialized pieces (the on-disk chunk
+  /// format stores the encoding tag, the FoR base or the sorted dictionary,
+  /// and the packed words verbatim). The derived structures the file does
+  /// not carry — the widened dictionary lut and the block prefix sums — are
+  /// rebuilt here, deterministically, so a reassembled column is
+  /// indistinguishable from one Encode produced. `enc` must not be kRaw.
+  static std::shared_ptr<const PackedPayloadColumn> FromParts(
+      PayloadEncoding enc, Payload base, std::vector<Payload> dict,
+      BitPackedArray packed);
+
   PayloadEncoding encoding() const { return enc_; }
   size_t size() const { return packed_.size(); }
   unsigned bit_width() const { return packed_.bit_width(); }
@@ -52,6 +62,10 @@ class PackedPayloadColumn {
   /// The FoR reference (column minimum); 0 for dictionary encodings.
   Payload base() const { return base_; }
   size_t dictionary_size() const { return dict_.size(); }
+  /// Sorted distinct values (empty for FoR); serialization surface.
+  const std::vector<Payload>& dictionary() const { return dict_; }
+  /// The packed offsets/codes array itself; serialization surface.
+  const BitPackedArray& packed_array() const { return packed_; }
 
   /// Decodes the payload value at row position i.
   Payload DecodeAt(size_t i) const;

@@ -3,11 +3,82 @@
 #include "exec/concurrent_query_runner.h"
 #include "exec/parallel_executor.h"
 #include "layouts/partitioned.h"
+#include "persist/io.h"
+#include "persist/journal.h"
+#include "persist/manifest.h"
+#include "persist/store.h"
 #include "util/status.h"
 
 namespace casper {
 
+namespace {
+
+bool IsPartitionedMode(LayoutMode mode) {
+  return mode == LayoutMode::kEquiWidth || mode == LayoutMode::kEquiWidthGhost ||
+         mode == LayoutMode::kCasper;
+}
+
+}  // namespace
+
+Status ValidateEngineOptions(const EngineOptions& options) {
+  if (options.layout.chunk_values == 0) {
+    return Status::InvalidArgument("layout.chunk_values must be positive");
+  }
+  if (options.layout.block_values == 0) {
+    return Status::InvalidArgument("layout.block_values must be positive");
+  }
+  if (options.maintenance.enabled) {
+    if (options.maintenance.background &&
+        options.maintenance.capture_interval.count() <= 0) {
+      return Status::InvalidArgument(
+          "maintenance.capture_interval must be positive for background mode");
+    }
+    if (options.maintenance.decay < 0.0 || options.maintenance.decay > 1.0) {
+      return Status::InvalidArgument("maintenance.decay must be in [0, 1]");
+    }
+  }
+  const PersistOptions& p = options.persist;
+  if (p.memory_budget_bytes.has_value() && *p.memory_budget_bytes <= 0) {
+    return Status::InvalidArgument(
+        "persist.memory_budget_bytes must be positive when set");
+  }
+  if (p.storage_dir.empty()) {
+    if (p.memory_budget_bytes.has_value()) {
+      return Status::InvalidArgument(
+          "persist.memory_budget_bytes needs persist.storage_dir (tier files "
+          "have nowhere to go)");
+    }
+    return Status::Ok();
+  }
+  if (!IsPartitionedMode(options.layout.mode)) {
+    return Status::InvalidArgument(
+        "persistence requires a partitioned layout mode (EquiWidth, "
+        "EquiWidthGhost or Casper)");
+  }
+  if (p.journal_fsync_every == 0) {
+    return Status::InvalidArgument(
+        "persist.journal_fsync_every must be >= 1 (0 would never sync)");
+  }
+  if (p.tier_decay < 0.0 || p.tier_decay > 1.0) {
+    return Status::InvalidArgument("persist.tier_decay must be in [0, 1]");
+  }
+  const persist::StoreLayout store(p.storage_dir);
+  Status s = store.EnsureLayout();
+  if (!s.ok()) return s;
+  s = store.ProbeWritable();
+  if (!s.ok()) return s;
+  if (persist::FileExists(store.ManifestPath()) && !options.keys.empty()) {
+    return Status::InvalidArgument(
+        "storage_dir already holds a store; refusing to overwrite it — Open "
+        "with empty keys to recover, or point at a fresh directory");
+  }
+  return Status::Ok();
+}
+
 CasperEngine CasperEngine::Open(EngineOptions options) {
+  const Status valid = ValidateEngineOptions(options);
+  CASPER_CHECK_MSG(valid.ok(), valid.ToString());
+
   LayoutBuildOptions build = options.layout;
   if (options.training != nullptr) build.training = options.training;
   if (options.pool != nullptr) build.pool = options.pool;
@@ -20,9 +91,85 @@ CasperEngine CasperEngine::Open(EngineOptions options) {
     build.pool = owned.get();
   }
   ThreadPool* pool = build.pool;
-  auto layout = BuildLayout(build, std::move(options.keys),
-                            std::move(options.payload));
+
+  const bool persistent = !options.persist.storage_dir.empty();
+  const persist::StoreLayout store(options.persist.storage_dir);
+  const bool recovering =
+      persistent && persist::FileExists(store.ManifestPath());
+
+  std::unique_ptr<LayoutEngine> layout;
+  std::vector<persist::JournalRecord> replay;
+  uint64_t next_seq = 0;
+  if (recovering) {
+    // Recovery: rebuild the table from the base chunk files through the same
+    // deterministic Build path the original open used, then replay the
+    // journal's valid prefix below (after construction, at the layout level —
+    // replayed writes must not be re-journaled or observed).
+    persist::Manifest manifest;
+    persist::RecoveredTableData data;
+    const PartitionedTable::Options topts = PartitionedTableOptionsFor(build);
+    Status s = persist::LoadStore(store, &manifest, &data, topts.chunk.spare_tail);
+    CASPER_CHECK_MSG(s.ok(), "store recovery failed: " << s.ToString());
+    CASPER_CHECK_MSG(
+        manifest.layout_mode == static_cast<uint32_t>(build.mode),
+        "store was created with a different layout mode");
+    PartitionedTable table =
+        PartitionedTable::Build(std::move(data.keys), std::move(data.payload),
+                                std::move(data.specs), topts);
+    layout = std::make_unique<PartitionedLayout>(build.mode, std::move(table));
+
+    uint64_t valid_bytes = 0;
+    s = persist::ReadJournal(store.JournalPath(), &replay, &valid_bytes);
+    CASPER_CHECK_MSG(s.ok(), "journal unreadable: " << s.ToString());
+    // Discard the torn tail so the reopened writer appends after the last
+    // valid record.
+    s = persist::TruncateFile(store.JournalPath(), valid_bytes);
+    CASPER_CHECK_MSG(s.ok(), "journal truncation failed: " << s.ToString());
+    next_seq = replay.size();
+  } else {
+    layout = BuildLayout(build, std::move(options.keys),
+                         std::move(options.payload));
+  }
+
   CasperEngine engine(std::move(layout), std::move(owned), pool);
+
+  if (persistent) {
+    auto* partitioned = dynamic_cast<PartitionedLayout*>(engine.engine_.get());
+    CASPER_CHECK_MSG(partitioned != nullptr,
+                     "persistence requires a partitioned layout");
+    if (recovering) {
+      for (const persist::JournalRecord& rec : replay) {
+        if (rec.type == persist::JournalRecordType::kRowsRun) {
+          engine.engine_->InsertRows(rec.rows.data(), rec.rows.size(), pool);
+        } else {
+          engine.engine_->ApplyBatch(rec.ops.data(), rec.ops.size(), pool);
+        }
+      }
+    } else {
+      // Fresh store: a leftover journal (crash before the manifest committed)
+      // belongs to no store — the manifest rename is the creation commit
+      // point, so everything before it is discarded on re-open.
+      Status s = persist::RemoveFileIfExists(store.JournalPath());
+      CASPER_CHECK_MSG(s.ok(), "stale journal removal failed: " << s.ToString());
+      s = persist::CreateStore(store, partitioned->table(),
+                               static_cast<uint32_t>(build.mode),
+                               build.chunk_values);
+      CASPER_CHECK_MSG(s.ok(), "store creation failed: " << s.ToString());
+    }
+    engine.durable_ = std::make_unique<persist::DurableStore>(store);
+    const Status s = engine.durable_->OpenJournal(
+        next_seq, options.persist.journal_fsync_every);
+    CASPER_CHECK_MSG(s.ok(), "journal open failed: " << s.ToString());
+
+    persist::TierOptions topt;
+    topt.memory_budget_bytes = options.persist.memory_budget_bytes.value_or(0);
+    topt.decay = options.persist.tier_decay;
+    topt.promote_score = options.persist.tier_promote_score;
+    topt.max_evictions_per_cycle = options.persist.max_evictions_per_cycle;
+    engine.tier_ = std::make_unique<persist::TierManager>(
+        &partitioned->mutable_table(), store, topt);
+  }
+
   if (options.maintenance.enabled) {
     // Only the partitioned family has tunable partition geometry; other
     // layouts get no service (engine.maintenance() stays null).
@@ -31,6 +178,13 @@ CasperEngine CasperEngine::Open(EngineOptions options) {
       engine.maintenance_ = std::make_unique<LayoutMaintenanceService>(
           partitioned, options.maintenance, ResolvePlannerOptions(build),
           build.block_values);
+      if (engine.tier_ != nullptr) {
+        // Tiering rides the maintenance cadence: every cycle (foreground or
+        // background) ends with a demote/promote pass. The raw pointer is
+        // stable across the engine move below (unique_ptr target).
+        persist::TierManager* tier = engine.tier_.get();
+        engine.maintenance_->SetCycleHook([tier] { tier->RunCycle(); });
+      }
       if (options.maintenance.background) engine.maintenance_->Start();
     }
   }
@@ -95,6 +249,10 @@ std::vector<uint64_t> CasperEngine::RunConcurrent(
 
 MixedResult CasperEngine::RunMixed(const std::vector<Operation>& ops) {
   if (maintenance_ != nullptr) maintenance_->ObserveAll(ops);
+  // Journaled as one run, before any of it applies: replay of the record is
+  // bit-identical to the run because mixed admission commits writes in
+  // serial-equivalent order (LogOps keeps only the write operations).
+  if (durable_ != nullptr) durable_->LogOps(ops.data(), ops.size());
   return MixedWorkloadRunner(pool_, oracle_.get()).Run(*engine_, ops);
 }
 

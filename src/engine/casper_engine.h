@@ -2,6 +2,8 @@
 #define CASPER_ENGINE_CASPER_ENGINE_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "exec/mixed_workload_runner.h"
@@ -9,10 +11,40 @@
 #include "layouts/layout_engine.h"
 #include "layouts/layout_factory.h"
 #include "maintenance/layout_maintenance.h"
+#include "persist/durable_store.h"
+#include "persist/tier_manager.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "workload/ops.h"
 
 namespace casper {
+
+/// Durable tiered storage policy (EngineOptions::persist). Setting
+/// storage_dir turns persistence on: the engine writes a base image of the
+/// built layout plus an append-only write-ahead journal there, and
+/// re-opening the same directory (with empty keys) recovers to exactly the
+/// state after the last committed write run. memory_budget_bytes additionally
+/// turns on tiering: cold chunks spill to disk and read back through the
+/// chunk-file scan paths (persist/ subsystem; ROADMAP item 2).
+struct PersistOptions {
+  /// Store root directory; empty = no persistence (pure in-memory engine).
+  std::string storage_dir;
+
+  /// Resident-byte budget for chunk data. Unset = everything stays resident;
+  /// set, the TierManager demotes the coldest chunks to tier files on each
+  /// maintenance cycle until the footprint fits. Must be positive when set.
+  std::optional<int64_t> memory_budget_bytes;
+
+  /// Journal fsync batching: 1 (default) = strict write-ahead durability;
+  /// larger trades the last few records for write throughput.
+  size_t journal_fsync_every = 1;
+
+  /// Tiering policy (persist/tier_manager.h): per-cycle heat decay, the
+  /// promotion threshold, and the demotion-per-cycle cap.
+  double tier_decay = 0.5;
+  double tier_promote_score = 256.0;
+  size_t max_evictions_per_cycle = 4;
+};
 
 /// One cohesive construction surface for the engine — the same
 /// collapse-to-one-surface move ScanSpec made for queries, now for engine
@@ -44,7 +76,20 @@ struct EngineOptions {
   /// Takes effect only for the partitioned layout family — other layouts
   /// have no tunable partition geometry and get no service.
   MaintenanceOptions maintenance;
+
+  /// Durable tiered storage policy (see PersistOptions above). Persistence
+  /// requires a partitioned layout mode.
+  PersistOptions persist;
 };
+
+/// Rejects nonsensical engine configurations before Open commits to them:
+/// non-positive memory budgets, budgets without a storage_dir, unwritable
+/// storage directories, persistence over a non-partitioned layout, zero
+/// chunk/block geometry, zero maintenance intervals, out-of-range decay
+/// factors, and opening an existing store with fresh keys (which would
+/// silently shadow the durable data). Open CHECK-fails on a bad config;
+/// callers wanting a recoverable error validate first.
+Status ValidateEngineOptions(const EngineOptions& options);
 
 /// The Casper storage engine facade — the generic storage-engine API of
 /// paper §6.4: "(i) scanning an entire column (or groups of columns),
@@ -128,6 +173,10 @@ class CasperEngine {
     if (maintenance_ != nullptr) {
       maintenance_->Observe({OpKind::kInsert, key, 0});
     }
+    if (durable_ != nullptr) {
+      const Row row{key, payload};
+      durable_->LogRows(&row, 1);
+    }
     engine_->Insert(key, payload);
   }
 
@@ -140,6 +189,7 @@ class CasperEngine {
         maintenance_->Observe({OpKind::kInsert, row.key, 0});
       }
     }
+    if (durable_ != nullptr) durable_->LogRows(rows.data(), rows.size());
     engine_->InsertRows(rows.data(), rows.size(), pool_);
   }
 
@@ -148,11 +198,19 @@ class CasperEngine {
     if (maintenance_ != nullptr) {
       maintenance_->Observe({OpKind::kUpdate, old_key, new_key});
     }
+    if (durable_ != nullptr) {
+      const Operation op{OpKind::kUpdate, old_key, new_key};
+      durable_->LogOps(&op, 1);
+    }
     return engine_->UpdateKey(old_key, new_key);
   }
   size_t Delete(Value key) {
     if (maintenance_ != nullptr) {
       maintenance_->Observe({OpKind::kDelete, key, 0});
+    }
+    if (durable_ != nullptr) {
+      const Operation op{OpKind::kDelete, key, 0};
+      durable_->LogOps(&op, 1);
     }
     return engine_->Delete(key);
   }
@@ -162,6 +220,7 @@ class CasperEngine {
   /// when attached); results are identical to applying the ops one-by-one.
   BatchResult ApplyBatch(const std::vector<Operation>& ops) {
     if (maintenance_ != nullptr) maintenance_->ObserveAll(ops);
+    if (durable_ != nullptr) durable_->LogOps(ops.data(), ops.size());
     return engine_->ApplyBatch(ops.data(), ops.size(), pool_);
   }
 
@@ -194,6 +253,19 @@ class CasperEngine {
   /// or the layout has no tunable partition geometry.
   LayoutMaintenanceService* maintenance() const { return maintenance_.get(); }
 
+  /// Durable store handle; nullptr unless persist.storage_dir is set.
+  persist::DurableStore* durable() const { return durable_.get(); }
+
+  /// Chunk tiering service; nullptr unless persist.storage_dir is set. Rides
+  /// the maintenance cycle cadence when maintenance is enabled; always
+  /// drivable directly via tier()->RunCycle().
+  persist::TierManager* tier() const { return tier_.get(); }
+
+  /// Forces batched journal records down to disk (journal_fsync_every > 1).
+  Status FlushWal() {
+    return durable_ != nullptr ? durable_->Flush() : Status::Ok();
+  }
+
   LayoutEngine& layout() { return *engine_; }
   const LayoutEngine& layout() const { return *engine_; }
 
@@ -211,8 +283,14 @@ class CasperEngine {
   /// Stamps mixed-run write commits (unique_ptr keeps the engine movable —
   /// the oracle's atomic counter is not).
   std::unique_ptr<TimestampOracle> oracle_;
+  /// Write-ahead journal + store layout; facade writes log here first.
+  std::unique_ptr<persist::DurableStore> durable_;
+  /// Tiering service; declared before maintenance_ so the maintenance
+  /// thread (whose cycle hook calls tier_->RunCycle()) joins first.
+  std::unique_ptr<persist::TierManager> tier_;
   /// Declared last: destroyed first, so the background thread joins while
-  /// the layout it re-partitions is still alive.
+  /// the layout it re-partitions (and the tier manager it drives) is still
+  /// alive.
   std::unique_ptr<LayoutMaintenanceService> maintenance_;
 };
 

@@ -123,6 +123,18 @@ std::unique_ptr<LayoutEngine> BuildPartitioned(
     }
   }
 
+  const PartitionedTable::Options topts = PartitionedTableOptionsFor(options);
+
+  PartitionedTable table =
+      PartitionedTable::Build(std::move(keys), std::move(payload), std::move(specs),
+                              topts);
+  return std::make_unique<PartitionedLayout>(options.mode, std::move(table));
+}
+
+}  // namespace
+
+PartitionedTable::Options PartitionedTableOptionsFor(
+    const LayoutBuildOptions& options) {
   PartitionedTable::Options topts;
   topts.chunk_values = options.chunk_values;
   topts.chunk.block_values = options.block_values;
@@ -134,14 +146,8 @@ std::unique_ptr<LayoutEngine> BuildPartitioned(
                                ? options.spare_tail
                                : 0;
   topts.chunk.index_fanout = options.index_fanout;
-
-  PartitionedTable table =
-      PartitionedTable::Build(std::move(keys), std::move(payload), std::move(specs),
-                              topts);
-  return std::make_unique<PartitionedLayout>(options.mode, std::move(table));
+  return topts;
 }
-
-}  // namespace
 
 PlannerOptions ResolvePlannerOptions(const LayoutBuildOptions& options) {
   PlannerOptions planner = options.planner;

@@ -6,6 +6,7 @@
 
 #include "layouts/layout_engine.h"
 #include "optimizer/layout_planner.h"
+#include "storage/table.h"
 #include "workload/ops.h"
 
 namespace casper {
@@ -84,6 +85,13 @@ PlannerOptions ResolvePlannerOptions(const LayoutBuildOptions& options);
 std::unique_ptr<LayoutEngine> BuildLayout(const LayoutBuildOptions& options,
                                           std::vector<Value> keys,
                                           std::vector<std::vector<Payload>> payload);
+
+/// The PartitionedTable::Options a partitioned build derives from the
+/// build-level knobs (chunk capacity, block granularity, dense/ghost mode,
+/// spare tail, index fan-out). Exposed so durable-store recovery rebuilds
+/// the table under exactly the configuration the original build used.
+PartitionedTable::Options PartitionedTableOptionsFor(
+    const LayoutBuildOptions& options);
 
 /// Sorts keys and applies the same permutation to every payload column.
 void SortRowsByKey(std::vector<Value>* keys,

@@ -93,6 +93,12 @@ Partitioning LayoutMaintenanceService::CurrentPartitioning(
 }
 
 MaintenanceCycleReport LayoutMaintenanceService::RunCycle() {
+  const MaintenanceCycleReport report = RunCycleInner();
+  if (cycle_hook_) cycle_hook_();
+  return report;
+}
+
+MaintenanceCycleReport LayoutMaintenanceService::RunCycleInner() {
   MaintenanceCycleReport report;
   MutexLock cycle(cycle_mu_);
   cycles_.Add(1);

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -131,12 +132,19 @@ class LayoutMaintenanceService {
   void Start();
   void Stop();
 
+  /// Hook invoked at the end of EVERY cycle (including cycles the noise gate
+  /// skipped), after the cycle's own work — the tier manager's demote/promote
+  /// pass rides here so tiering shares the maintenance cadence and thread.
+  /// Set before Start(); not synchronized against a running background loop.
+  void SetCycleHook(std::function<void()> hook) { cycle_hook_ = std::move(hook); }
+
   const MaintenanceOptions& options() const { return options_; }
   MaintenanceStats stats() const;
 
  private:
   void ObserveLocked(const Operation& op) REQUIRES(buf_mu_);
   void BackgroundLoop();
+  MaintenanceCycleReport RunCycleInner();
   /// The current partitioning of chunk c mapped onto `num_blocks` logical
   /// blocks (cumulative live partition sizes → boundary bits), for pricing
   /// the as-is layout with the same cost objective the solver minimizes.
@@ -146,6 +154,7 @@ class LayoutMaintenanceService {
   const MaintenanceOptions options_;
   const PlannerOptions planner_;
   const size_t block_values_;
+  std::function<void()> cycle_hook_;
 
   // Observation ring (hot path: one guarded append per operation).
   Mutex buf_mu_;

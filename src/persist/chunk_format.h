@@ -1,0 +1,109 @@
+#ifndef CASPER_PERSIST_CHUNK_FORMAT_H_
+#define CASPER_PERSIST_CHUNK_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compression/frame_of_reference.h"
+#include "compression/packed_column.h"
+#include "persist/evicted_chunk.h"
+#include "storage/compressed_cache.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace casper {
+namespace persist {
+
+/// Chunk file format v1 (".cspr", little-endian, one flat buffer ending in a
+/// CRC-32 of everything before it):
+///
+///   u32  magic 'CSPR'        u32  version
+///   u64  chunk_index         u64  rows (live)        u64  payload_cols
+///   u64  partitions
+///   per partition:  u64 size | u64 cap | i64 upper | i64 min | i64 max
+///   live_prefix:    u64 count | u64[count]           (partitions + 1)
+///   keys (FoR):     u64 frames; per frame:
+///                   i64 reference | i64 max | u64 begin | u64 count
+///                   | u32 bit_width | u64 words | u64[words]
+///   per payload column:
+///                   u32 encoding (1 = FoR, 2 = dictionary) | u32 base
+///                   u64 dict_size | u32[dict_size]    (sorted; empty for FoR)
+///                   u64 count | u32 bit_width | u64 words | u64[words]
+///                   per partition: u32 zone_min | u32 zone_max
+///   u32  crc
+///
+/// The packed words are exactly the words the warm-path ChunkEncoding holds:
+/// a cold scan reassembles BitPackedArrays from them verbatim (no
+/// re-encoding) and runs the same kernels::*Packed* kernels the cache serves.
+/// Payload columns are ALWAYS packed on disk — even columns the in-memory
+/// encoding advisor keeps raw — because on the cold path compactness beats
+/// decode cost unconditionally.
+
+constexpr uint32_t kChunkMagic = 0x52505343u;  // 'CSPR'
+constexpr uint32_t kChunkFormatVersion = 1;
+
+/// A chunk file's contents in memory: writer input and reader output. After
+/// Parse the encoded columns are live objects (FromFrames / FromParts), so
+/// the cold read paths operate on this struct exactly as the warm paths
+/// operate on a ChunkEncoding + partition array.
+struct PersistedChunk {
+  uint32_t version = kChunkFormatVersion;
+  uint64_t chunk_index = 0;
+  uint64_t rows = 0;  ///< live rows
+  std::vector<ChunkPartitionMeta> parts;
+  /// live_prefix[t] = live rows in partitions [0, t); size parts + 1.
+  std::vector<size_t> live_prefix;
+  std::shared_ptr<const FrameOfReferenceColumn> keys;  ///< null iff rows == 0
+  /// One packed column per payload column (all non-null when rows > 0).
+  std::vector<std::shared_ptr<const PackedPayloadColumn>> payload;
+  /// payload_zones[c][t] = min/max of column c in partition t (live rows).
+  std::vector<std::vector<PayloadZone>> payload_zones;
+  /// Serialized size; filled by the reader for disk_bytes_read accounting.
+  uint64_t file_bytes = 0;
+
+  /// The geometry summary an evicted chunk keeps resident.
+  EvictedChunkState ToEvictedState(std::string path) const;
+};
+
+/// Deterministic per-column disk encoding choice: dictionary when
+/// rows * code_width + dict storage beats rows * FoR width, FoR otherwise.
+/// Unlike the in-memory advisor there is no raw option and no payoff gate.
+PayloadEncoding ChooseDiskEncoding(const std::vector<Payload>& values);
+
+class ChunkWriter {
+ public:
+  /// Pure encode: packs one chunk's live data (keys and payload columns in
+  /// partition order, partition geometry in `parts`) into a PersistedChunk.
+  /// `live_keys` and each `live_payload[c]` hold exactly the live rows,
+  /// concatenated partition by partition; frames align with non-empty
+  /// partitions (the LiveValues contract the warm cache also uses).
+  static PersistedChunk Encode(
+      uint64_t chunk_index, std::vector<ChunkPartitionMeta> parts,
+      const std::vector<Value>& live_keys,
+      const std::vector<std::vector<Payload>>& live_payload);
+
+  /// Pure serialize: appends the v1 byte image (including trailing CRC).
+  static void Serialize(const PersistedChunk& chunk, std::string* out);
+
+  /// Serialize + durable atomic write (tmp -> fsync -> rename -> fsync dir).
+  static Status Write(const std::string& path, const PersistedChunk& chunk);
+};
+
+class ChunkReader {
+ public:
+  /// Pure parse: validates magic, version, CRC and structural consistency
+  /// (partition sizes vs rows, prefix sums, frame coverage, packed word
+  /// counts) before reassembling the columns. Any violation is a clean
+  /// Status, never a crash or out-of-bounds read.
+  static Status Parse(const std::string& bytes, PersistedChunk* out);
+
+  /// Read + Parse; fills out->file_bytes.
+  static Status Read(const std::string& path, PersistedChunk* out);
+};
+
+}  // namespace persist
+}  // namespace casper
+
+#endif  // CASPER_PERSIST_CHUNK_FORMAT_H_

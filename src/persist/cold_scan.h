@@ -1,0 +1,62 @@
+#ifndef CASPER_PERSIST_COLD_SCAN_H_
+#define CASPER_PERSIST_COLD_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/scan_spec.h"
+#include "persist/chunk_format.h"
+#include "storage/types.h"
+
+namespace casper {
+namespace persist {
+
+/// Read paths over a parsed chunk file — the cold mirror of the warm
+/// per-chunk query surface. Each function reproduces its in-memory
+/// counterpart's answer bit for bit: the same partition zone-map walk
+/// (skip / blind-consume / evaluate), the same packed kernels on the stored
+/// words, the same wrapping arithmetic. Accounting lands on `stats` (the
+/// chunk's resident ChunkStats, which survives eviction); disk_reads /
+/// disk_bytes_read are bumped by the caller that loaded the file.
+
+/// ScanSpec evaluation; mirrors PartitionedTable::ScanSpecInChunk. On the
+/// cold path every payload column is packed, so the evaluator always runs
+/// scan-on-compressed with payload-zone pruning and the predicate override
+/// (blind consume) logic of the warm path.
+ScanPartial EvalSpecOverPersisted(const ScanSpec& spec, const PersistedChunk& f,
+                                  ChunkStats* stats);
+
+/// COUNT(key in [lo, hi)); mirrors CountRangeCompressed (frames are zone
+/// maps; surviving frames are counted on the packed words with
+/// kernels::CountPackedInRange — no materialization).
+uint64_t CountRangePersisted(const PersistedChunk& f, Value lo, Value hi,
+                             ChunkStats* stats);
+
+/// COUNT(key == key) with the first match's payload row; mirrors
+/// PartitionedTable::PointLookup. `payload_out` may be nullptr.
+size_t PointLookupPersisted(const PersistedChunk& f, Value key,
+                            std::vector<Payload>* payload_out,
+                            size_t payload_cols, ChunkStats* stats);
+
+/// SUM(key WHERE key in [lo, hi)); mirrors PartitionedColumnChunk::SumRange.
+int64_t SumKeysRangePersisted(const PersistedChunk& f, Value lo, Value hi,
+                              ChunkStats* stats);
+
+/// Everything promotion needs to rebuild the chunk in memory through the
+/// deterministic Build path: live rows sorted by key (partitions are
+/// range-disjoint and ordered, so a stable per-partition sort yields the
+/// globally sorted order Build requires), payload columns aligned to that
+/// order, and the per-partition size/ghost vectors that reproduce the stored
+/// capacity envelope.
+struct PromotedChunkData {
+  std::vector<Value> sorted_keys;
+  std::vector<std::vector<Payload>> payload;  ///< [col][row], aligned
+  std::vector<size_t> sizes;                  ///< per partition (empties kept)
+  std::vector<size_t> ghosts;                 ///< cap - size per partition
+};
+PromotedChunkData DecodeForPromotion(const PersistedChunk& f);
+
+}  // namespace persist
+}  // namespace casper
+
+#endif  // CASPER_PERSIST_COLD_SCAN_H_

@@ -1,0 +1,56 @@
+#ifndef CASPER_PERSIST_CRC32_H_
+#define CASPER_PERSIST_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace casper {
+namespace persist {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum every persisted
+/// artifact carries: chunk files, journal records, and the manifest all
+/// verify their payload against it before a single decoded byte is trusted.
+/// Self-contained table-driven implementation — no zlib dependency.
+namespace internal {
+constexpr uint32_t kCrcPoly = 0xEDB88320u;
+
+inline const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (kCrcPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace internal
+
+/// Incremental update: fold `n` bytes into a running crc (start from
+/// Crc32Init(), finish with Crc32Final()).
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = internal::CrcTable();
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+inline uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+inline uint32_t Crc32Final(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, n));
+}
+
+}  // namespace persist
+}  // namespace casper
+
+#endif  // CASPER_PERSIST_CRC32_H_

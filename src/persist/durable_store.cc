@@ -1,0 +1,122 @@
+#include "persist/durable_store.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "persist/chunk_format.h"
+#include "persist/cold_scan.h"
+#include "persist/evicted_chunk.h"
+#include "persist/io.h"
+
+namespace casper {
+namespace persist {
+
+Status DurableStore::OpenJournal(uint64_t next_seq, size_t fsync_every) {
+  MutexLock lock(mu_);
+  return journal_.Open(layout_.JournalPath(), next_seq, fsync_every);
+}
+
+void DurableStore::LogOps(const Operation* ops, size_t n) {
+  std::vector<Operation> writes;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsWriteOp(ops[i].kind)) writes.push_back(ops[i]);
+  }
+  if (writes.empty()) return;
+  MutexLock lock(mu_);
+  const Status s = journal_.AppendOps(writes.data(), writes.size());
+  CASPER_CHECK_MSG(s.ok(), "journal append failed");
+}
+
+void DurableStore::LogRows(const Row* rows, size_t n) {
+  if (n == 0) return;
+  MutexLock lock(mu_);
+  const Status s = journal_.AppendRows(rows, n);
+  CASPER_CHECK_MSG(s.ok(), "journal append failed");
+}
+
+Status DurableStore::Flush() {
+  MutexLock lock(mu_);
+  return journal_.Flush();
+}
+
+Status CreateStore(const StoreLayout& layout, const PartitionedTable& table,
+                   uint32_t layout_mode, uint64_t chunk_values) {
+  Status s = layout.EnsureLayout();
+  if (!s.ok()) return s;
+  uint64_t base_rows = 0;
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    MaybeCrash("store:before_chunk");
+    std::vector<ChunkPartitionMeta> parts;
+    std::vector<Value> live_keys;
+    std::vector<std::vector<Payload>> live_payload;
+    table.SnapshotChunkForPersist(c, &parts, &live_keys, &live_payload);
+    const PersistedChunk pc =
+        ChunkWriter::Encode(c, std::move(parts), live_keys, live_payload);
+    base_rows += pc.rows;
+    s = ChunkWriter::Write(layout.BaseChunkPath(c), pc);
+    if (!s.ok()) return s;
+  }
+  MaybeCrash("store:before_manifest");
+  Manifest m;
+  m.layout_mode = layout_mode;
+  m.payload_cols = table.num_payload_columns();
+  m.num_chunks = table.num_chunks();
+  m.base_rows = base_rows;
+  m.chunk_values = chunk_values;
+  s = WriteManifest(layout.ManifestPath(), m);
+  if (!s.ok()) return s;
+  MaybeCrash("store:after_manifest");
+  return Status::Ok();
+}
+
+Status LoadStore(const StoreLayout& layout, Manifest* manifest,
+                 RecoveredTableData* out, size_t spare_tail) {
+  Status s = ReadManifest(layout.ManifestPath(), manifest);
+  if (!s.ok()) return s;
+  out->keys.clear();
+  out->payload.assign(manifest->payload_cols, {});
+  out->specs.clear();
+  out->specs.reserve(manifest->num_chunks);
+  for (size_t c = 0; c < manifest->num_chunks; ++c) {
+    PersistedChunk pc;
+    s = ChunkReader::Read(layout.BaseChunkPath(c), &pc);
+    if (!s.ok()) {
+      return Status::Internal("base chunk " + std::to_string(c) + ": " +
+                              std::string(s.message()));
+    }
+    if (pc.payload.size() != manifest->payload_cols) {
+      return Status::Internal("base chunk payload column count mismatch");
+    }
+    PromotedChunkData d = DecodeForPromotion(pc);
+    // The table rebuild re-appends spare_tail to each chunk's last partition;
+    // the stored caps already include it, so take it back out of the ghost
+    // vector or the capacity envelope would grow on every recovery.
+    if (!d.ghosts.empty() && spare_tail > 0) {
+      d.ghosts.back() -= std::min(d.ghosts.back(), spare_tail);
+    }
+    PartitionedTable::ChunkLayoutSpec spec;
+    spec.partition_sizes = std::move(d.sizes);
+    spec.ghosts = std::move(d.ghosts);
+    out->specs.push_back(std::move(spec));
+    out->keys.insert(out->keys.end(), d.sorted_keys.begin(),
+                     d.sorted_keys.end());
+    for (size_t col = 0; col < manifest->payload_cols; ++col) {
+      out->payload[col].insert(out->payload[col].end(),
+                               d.payload[col].begin(), d.payload[col].end());
+    }
+  }
+  if (out->keys.size() != manifest->base_rows) {
+    return Status::Internal("base rows mismatch vs manifest");
+  }
+  // Tier files are a cache of the durable truth and may postdate the last
+  // committed run; recovery starts from base + journal only.
+  for (size_t c = 0; c < manifest->num_chunks; ++c) {
+    s = RemoveFileIfExists(layout.TierChunkPath(c));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace casper

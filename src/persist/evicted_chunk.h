@@ -1,0 +1,39 @@
+#ifndef CASPER_PERSIST_EVICTED_CHUNK_H_
+#define CASPER_PERSIST_EVICTED_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace casper {
+namespace persist {
+
+/// Partition geometry as persisted: everything routing, zone-map pruning and
+/// promotion need to know about one partition without touching its values.
+struct ChunkPartitionMeta {
+  uint64_t size = 0;     ///< live values at serialization time
+  uint64_t cap = 0;      ///< region width (size + ghost slots)
+  Value upper = 0;       ///< routing bound
+  Value min_val = 0;     ///< key zone map
+  Value max_val = 0;
+};
+
+/// The resident-side remnant of a chunk demoted to disk: where its file
+/// lives plus the geometry summary that answers metadata-only questions
+/// (routing, fingerprinting, full-scan counts) with zero I/O. Kept inside
+/// the TableChunk under the same latch that used to guard the values —
+/// writes promote the chunk back before touching it, so this state is
+/// always exactly the file's contents.
+struct EvictedChunkState {
+  std::string path;
+  uint64_t rows = 0;      ///< live rows in the file
+  uint64_t capacity = 0;  ///< sum of partition caps (bytes-if-promoted basis)
+  std::vector<ChunkPartitionMeta> parts;
+};
+
+}  // namespace persist
+}  // namespace casper
+
+#endif  // CASPER_PERSIST_EVICTED_CHUNK_H_

@@ -1,0 +1,222 @@
+#include "persist/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace casper {
+namespace persist {
+
+bool ByteSource::Raw(void* out, size_t n) {
+  if (n > n_ - pos_) return false;
+  std::memcpy(out, p_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteSource::BoundedCount(uint64_t* count, size_t elem_bytes) {
+  if (!U64(count)) return false;
+  return *count <= remaining() / elem_bytes;
+}
+
+bool ByteSource::U64Vector(std::vector<uint64_t>* out) {
+  uint64_t n = 0;
+  if (!BoundedCount(&n, sizeof(uint64_t))) return false;
+  out->resize(n);
+  return n == 0 || Raw(out->data(), n * sizeof(uint64_t));
+}
+
+void MaybeCrash(const char* point) {
+  const char* want = std::getenv("CASPER_PERSIST_CRASH_POINT");
+  if (want != nullptr && std::strcmp(want, point) == 0) {
+    _exit(42);  // no cleanup, no flushes: the crash is the point
+  }
+}
+
+namespace {
+// Torn-write budget in bytes; negative = disabled. One global is enough:
+// the fuzz drives a single engine at a time.
+std::atomic<int64_t> g_fail_after{-1};
+
+// The one low-level write every persist path funnels through. Consumes the
+// injection budget first: once it runs out, a prefix of the buffer (possibly
+// empty) reaches the file and the call fails — exactly the torn tail a crash
+// mid-write leaves behind.
+Status WriteRaw(int fd, const void* p, size_t n) {
+  size_t allowed = n;
+  int64_t budget = g_fail_after.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    for (;;) {
+      const int64_t take =
+          std::min<int64_t>(budget, static_cast<int64_t>(n));
+      if (g_fail_after.compare_exchange_weak(budget, budget - take,
+                                             std::memory_order_relaxed)) {
+        allowed = static_cast<size_t>(take);
+        break;
+      }
+      if (budget < 0) break;  // cleared concurrently
+    }
+  }
+  const char* cur = static_cast<const char*>(p);
+  size_t left = allowed;
+  while (left > 0) {
+    const ssize_t w = ::write(fd, cur, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    cur += w;
+    left -= static_cast<size_t>(w);
+  }
+  if (allowed < n) return Status::Internal("write failed (fault injection)");
+  return Status::Ok();
+}
+
+Status SyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status SyncDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal(std::string("open dir: ") + std::strerror(errno));
+  }
+  const Status s = SyncFd(fd);
+  ::close(fd);
+  return s;
+}
+}  // namespace
+
+namespace testing {
+void SetWriteFailureAfterBytes(int64_t bytes) {
+  g_fail_after.store(bytes, std::memory_order_relaxed);
+}
+void ClearWriteFailure() {
+  g_fail_after.store(-1, std::memory_order_relaxed);
+}
+}  // namespace testing
+
+Status EnsureDir(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty directory path");
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::Ok();
+    return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+  // Create one missing parent level, then the directory itself (the store
+  // layout only ever nests one level below storage_dir).
+  const size_t slash = dir.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    const std::string parent = dir.substr(0, slash);
+    struct stat pst{};
+    if (::stat(parent.c_str(), &pst) != 0) {
+      if (::mkdir(parent.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::InvalidArgument(parent + ": " + std::strerror(errno));
+      }
+    }
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::InvalidArgument(dir + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status s =
+          Status::Internal(std::string("read: ") + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(tmp + ": " + std::strerror(errno));
+  }
+  Status s = WriteRaw(fd, data.data(), data.size());
+  if (s.ok()) s = SyncFd(fd);
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  MaybeCrash("file:before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rs =
+        Status::Internal(std::string("rename: ") + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return rs;
+  }
+  return SyncDirOf(path);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+FileAppender::~FileAppender() { Close(); }
+
+Status FileAppender::Open(const std::string& path) {
+  Close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::Internal(path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FileAppender::Append(const void* p, size_t n) {
+  CASPER_CHECK(fd_ >= 0);
+  return WriteRaw(fd_, p, n);
+}
+
+Status FileAppender::Sync() {
+  CASPER_CHECK(fd_ >= 0);
+  return SyncFd(fd_);
+}
+
+void FileAppender::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace persist
+}  // namespace casper

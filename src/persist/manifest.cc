@@ -1,0 +1,58 @@
+#include "persist/manifest.h"
+
+#include <cstring>
+
+#include "persist/crc32.h"
+#include "persist/io.h"
+
+namespace casper {
+namespace persist {
+
+Status WriteManifest(const std::string& path, const Manifest& m) {
+  ByteSink s;
+  s.U32(kManifestMagic);
+  s.U32(m.version);
+  s.U32(m.layout_mode);
+  s.U64(m.payload_cols);
+  s.U64(m.num_chunks);
+  s.U64(m.base_rows);
+  s.U64(m.chunk_values);
+  const uint32_t crc = Crc32(s.data().data(), s.size());
+  s.U32(crc);
+  MaybeCrash("manifest:before_write");
+  return WriteFileAtomic(path, s.data());
+}
+
+Status ReadManifest(const std::string& path, Manifest* out) {
+  std::string bytes;
+  Status s = ReadFileToString(path, &bytes);
+  if (!s.ok()) return s;
+  if (bytes.size() < 2 * sizeof(uint32_t)) {
+    return Status::InvalidArgument("manifest: too small");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (stored_crc != Crc32(bytes.data(), bytes.size() - 4)) {
+    return Status::InvalidArgument("manifest: checksum mismatch");
+  }
+  ByteSource src(bytes.data(), bytes.size() - 4);
+  uint32_t magic = 0;
+  Manifest m;
+  if (!src.U32(&magic) || !src.U32(&m.version) || !src.U32(&m.layout_mode) ||
+      !src.U64(&m.payload_cols) || !src.U64(&m.num_chunks) ||
+      !src.U64(&m.base_rows) || !src.U64(&m.chunk_values) ||
+      !src.exhausted()) {
+    return Status::InvalidArgument("manifest: malformed");
+  }
+  if (magic != kManifestMagic) {
+    return Status::InvalidArgument("manifest: bad magic");
+  }
+  if (m.version != 1) {
+    return Status::InvalidArgument("manifest: unsupported version");
+  }
+  *out = m;
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace casper

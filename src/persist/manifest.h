@@ -1,0 +1,33 @@
+#ifndef CASPER_PERSIST_MANIFEST_H_
+#define CASPER_PERSIST_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace casper {
+namespace persist {
+
+/// The store's commit record: written (atomically, via tmp + rename) as the
+/// LAST step of store creation, so a manifest's existence certifies that
+/// every base chunk file it describes is complete and durable. Recovery
+/// starts here; a directory without a (valid) manifest is not a store.
+struct Manifest {
+  uint32_t version = 1;
+  uint32_t layout_mode = 0;    ///< LayoutMode as int (informational + guard)
+  uint64_t payload_cols = 0;
+  uint64_t num_chunks = 0;     ///< base chunk files: base/chunk_0..n-1
+  uint64_t base_rows = 0;      ///< rows across the base files
+  uint64_t chunk_values = 0;   ///< table chunk capacity at creation
+};
+
+constexpr uint32_t kManifestMagic = 0x4E414D43u;  // 'CMAN'
+
+Status WriteManifest(const std::string& path, const Manifest& m);
+Status ReadManifest(const std::string& path, Manifest* out);
+
+}  // namespace persist
+}  // namespace casper
+
+#endif  // CASPER_PERSIST_MANIFEST_H_

@@ -1,0 +1,30 @@
+#include "persist/store.h"
+
+#include <unistd.h>
+
+#include "persist/io.h"
+
+namespace casper {
+namespace persist {
+
+Status StoreLayout::EnsureLayout() const {
+  Status s = EnsureDir(root_);
+  if (!s.ok()) return s;
+  s = EnsureDir(BaseDir());
+  if (!s.ok()) return s;
+  return EnsureDir(TierDir());
+}
+
+Status StoreLayout::ProbeWritable() const {
+  const Status s = EnsureDir(root_);
+  if (!s.ok()) return s;
+  const std::string probe = root_ + "/.casper_probe";
+  const Status w = WriteFileAtomic(probe, "probe");
+  if (!w.ok()) {
+    return Status::InvalidArgument("storage_dir not writable: " + root_);
+  }
+  return RemoveFileIfExists(probe);
+}
+
+}  // namespace persist
+}  // namespace casper

@@ -1,0 +1,53 @@
+#ifndef CASPER_PERSIST_STORE_H_
+#define CASPER_PERSIST_STORE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace casper {
+namespace persist {
+
+/// Path scheme of one durable store:
+///
+///   <root>/MANIFEST            geometry + config, committed by rename
+///   <root>/journal.wal         append-only write-run journal
+///   <root>/base/chunk_<i>.cspr base chunk files (state at store creation)
+///   <root>/tier/chunk_<i>.cspr tier files (chunks currently evicted)
+///
+/// Base files plus the journal are the durable truth: recovery rebuilds the
+/// table from base/ and replays the journal's committed prefix. Tier files
+/// are a cache of that truth for memory-budgeted operation; recovery wipes
+/// them (they may postdate the last committed run).
+class StoreLayout {
+ public:
+  StoreLayout() = default;
+  explicit StoreLayout(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+  std::string ManifestPath() const { return root_ + "/MANIFEST"; }
+  std::string JournalPath() const { return root_ + "/journal.wal"; }
+  std::string BaseDir() const { return root_ + "/base"; }
+  std::string TierDir() const { return root_ + "/tier"; }
+  std::string BaseChunkPath(size_t c) const {
+    return BaseDir() + "/chunk_" + std::to_string(c) + ".cspr";
+  }
+  std::string TierChunkPath(size_t c) const {
+    return TierDir() + "/chunk_" + std::to_string(c) + ".cspr";
+  }
+
+  /// Creates root/, base/ and tier/ (idempotent).
+  Status EnsureLayout() const;
+
+  /// Probes that root/ is writable by creating and removing a probe file —
+  /// the EngineOptions validation check behind "storage_dir unwritable".
+  Status ProbeWritable() const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace persist
+}  // namespace casper
+
+#endif  // CASPER_PERSIST_STORE_H_

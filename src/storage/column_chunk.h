@@ -163,6 +163,21 @@ class PartitionedColumnChunk {
   /// Asserts every structural invariant; test hook (O(capacity)).
   void ValidateInvariants() const;
 
+  // --- Tiered storage ---------------------------------------------------------
+
+  /// Drops the value buffer and partition metadata — the chunk's data now
+  /// lives in its on-disk tier file. The live count and the access counters
+  /// stay resident (stats survive eviction exactly as they survive a
+  /// re-partition, and size() keeps feeding the table's row accounting);
+  /// promotion replaces this object wholesale via Build.
+  void ReleaseStorage() {
+    data_.clear();
+    data_.shrink_to_fit();
+    parts_.clear();
+    parts_.shrink_to_fit();
+    index_ = PartitionIndex();
+  }
+
  private:
   PartitionedColumnChunk() = default;
 

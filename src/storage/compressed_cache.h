@@ -213,6 +213,20 @@ class CompressedChunkCache {
     return built;
   }
 
+  /// Drops one slot's cached encoding and state (tiered storage: an evicted
+  /// chunk stops consulting the cache entirely, so without this its last
+  /// encoding would hold memory until the slot is next touched — the
+  /// opposite of what eviction is for).
+  void Invalidate(size_t slot) {
+    Entry& e = *entries_[slot];
+    MutexLock lock(e.mu);
+    std::atomic_store_explicit(&e.column, EncodingPtr(),
+                               std::memory_order_release);
+    e.scans.store(0, std::memory_order_relaxed);
+    e.rejected.store(false, std::memory_order_relaxed);
+    e.epoch.store(kNoEpoch, std::memory_order_release);
+  }
+
   /// Drops every cached encoding (memory pressure / tests).
   void Clear() {
     for (auto& e : entries_) {

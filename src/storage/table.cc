@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "model/encoding_advisor.h"
+#include "persist/chunk_format.h"
+#include "persist/cold_scan.h"
+#include "persist/io.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -167,11 +170,26 @@ size_t PartitionedTable::RouteChunk(Value key) const {
   return static_cast<size_t>(std::distance(chunk_uppers_.begin(), it));
 }
 
+persist::PersistedChunk PartitionedTable::LoadEvicted(const TableChunk& ch) const {
+  persist::PersistedChunk pc;
+  const Status s = persist::ChunkReader::Read(ch.evicted->path, &pc);
+  CASPER_CHECK_MSG(s.ok(), "tier chunk file unreadable");
+  ChunkStats& stats = ch.keys.stats();
+  ++stats.disk_reads;
+  stats.disk_bytes_read.Add(pc.file_bytes);
+  return pc;
+}
+
 size_t PartitionedTable::PointLookup(Value key,
                                      std::vector<Payload>* payload_out) const {
   const size_t c = RouteChunk(key);
   const TableChunk& ch = *chunks_[c];
   SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    const persist::PersistedChunk pc = LoadEvicted(ch);
+    return persist::PointLookupPersisted(pc, key, payload_out, payload_cols_,
+                                         &ch.keys.stats());
+  }
   if (payload_out == nullptr || payload_cols_ == 0) {
     size_t n = ch.keys.CountEqual(key);
     if (payload_out != nullptr) payload_out->clear();
@@ -209,6 +227,10 @@ uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const
   if (lo >= hi || !ChunkOverlapsRange(c, lo, hi)) return 0;
   const TableChunk& ch = *chunks_[c];
   SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    const persist::PersistedChunk pc = LoadEvicted(ch);
+    return persist::CountRangePersisted(pc, lo, hi, &ch.keys.stats());
+  }
   if (const auto enc = CompressedFor(c, ch)) {
     return ch.keys.CountRangeCompressed(*enc->keys, lo, hi);
   }
@@ -218,6 +240,12 @@ uint64_t PartitionedTable::CountRangeInChunk(size_t c, Value lo, Value hi) const
 uint64_t PartitionedTable::ScanChunk(size_t c) const {
   const TableChunk& ch = *chunks_[c];
   SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    const persist::PersistedChunk pc = LoadEvicted(ch);
+    return persist::EvalSpecOverPersisted(ScanSpec::FullScan(), pc,
+                                          &ch.keys.stats())
+        .count;
+  }
   return ch.keys.ScanAllCount();
 }
 
@@ -254,6 +282,12 @@ ScanPartial PartitionedTable::ScanSpecInChunk(size_t c, const ScanSpec& spec) co
   }
   const TableChunk& ch = *chunks_[c];
   SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    // Cold path: the evaluator runs the same zone-map walk over the parsed
+    // file, always scan-on-compressed (every column is packed on disk).
+    const persist::PersistedChunk pc = LoadEvicted(ch);
+    return persist::EvalSpecOverPersisted(spec, pc, &ch.keys.stats());
+  }
   const auto& chunk = ch.keys;
   if (chunk.size() == 0) return out;
   // Scan-on-compressed: every spec that touches payload columns consults the
@@ -346,6 +380,12 @@ void PartitionedTable::LookupBatch(const Value* keys, size_t n,
     for (size_t i = 0; i < n; ++i) {
       const TableChunk& ch = *chunks_[RouteChunk(keys[i])];
       SharedChunkGuard guard(ch.latch);
+      if (ch.evicted != nullptr) {
+        const persist::PersistedChunk pc = LoadEvicted(ch);
+        out_counts[i] = persist::PointLookupPersisted(pc, keys[i], nullptr, 0,
+                                                      &ch.keys.stats());
+        continue;
+      }
       out_counts[i] = ch.keys.CountEqual(keys[i]);
     }
     return;
@@ -364,6 +404,15 @@ void PartitionedTable::LookupBatch(const Value* keys, size_t n,
   auto probe_chunk = [&](size_t c) {
     const TableChunk& ch = *chunks_[c];
     SharedChunkGuard guard(ch.latch);
+    if (ch.evicted != nullptr) {
+      // One disk read serves the whole per-chunk probe run.
+      const persist::PersistedChunk pc = LoadEvicted(ch);
+      for (const uint32_t idx : by_chunk[c]) {
+        out_counts[idx] = persist::PointLookupPersisted(pc, keys[idx], nullptr,
+                                                        0, &ch.keys.stats());
+      }
+      return;
+    }
     for (const uint32_t idx : by_chunk[c]) {
       out_counts[idx] = ch.keys.CountEqual(keys[idx]);
     }
@@ -383,6 +432,11 @@ int64_t PartitionedTable::SumKeysRange(Value lo, Value hi) const {
     if (c > 0 && chunk_uppers_[c - 1] >= hi - 1) break;
     const TableChunk& ch = *chunks_[c];
     SharedChunkGuard guard(ch.latch);
+    if (ch.evicted != nullptr) {
+      const persist::PersistedChunk pc = LoadEvicted(ch);
+      sum += persist::SumKeysRangePersisted(pc, lo, hi, &ch.keys.stats());
+      continue;
+    }
     sum += ch.keys.SumRange(lo, hi);
   }
   return sum;
@@ -420,6 +474,7 @@ void PartitionedTable::Insert(Value key, const std::vector<Payload>& payload) {
   CASPER_CHECK(payload.size() == payload_cols_);
   TableChunk& ch = *chunks_[RouteChunk(key)];
   ExclusiveChunkGuard guard(ch.latch);
+  EnsureResidentLocked(ch);
   MoveLog log;
   ch.keys.Insert(key, &log);
   ApplyMoveLog(ch, log, &payload, nullptr);
@@ -429,6 +484,7 @@ void PartitionedTable::Insert(Value key, const std::vector<Payload>& payload) {
 size_t PartitionedTable::Delete(Value key) {
   TableChunk& ch = *chunks_[RouteChunk(key)];
   ExclusiveChunkGuard guard(ch.latch);
+  EnsureResidentLocked(ch);
   MoveLog log;
   const size_t n = ch.keys.DeleteOne(key, &log);
   if (n > 0) {
@@ -440,6 +496,8 @@ size_t PartitionedTable::Delete(Value key) {
 
 bool PartitionedTable::MoveRowAcrossChunks(TableChunk& src, TableChunk& dst,
                                            Value old_key, Value new_key) {
+  EnsureResidentLocked(src);
+  EnsureResidentLocked(dst);
   std::vector<uint32_t> slots;
   src.keys.CollectSlots(old_key, &slots);
   if (slots.empty()) return false;
@@ -462,6 +520,7 @@ bool PartitionedTable::UpdateKey(Value old_key, Value new_key) {
   if (c_old == c_new) {
     TableChunk& ch = *chunks_[c_old];
     ExclusiveChunkGuard guard(ch.latch);
+    EnsureResidentLocked(ch);
     MoveLog log;
     std::vector<Payload> stash;
     if (!ch.keys.Update(old_key, new_key, &log)) return false;
@@ -512,6 +571,7 @@ size_t PartitionedTable::ApplyWriteRun(const std::vector<BatchWrite>& run,
     // a concurrent ApplyWriteRun touching other chunks proceeds in parallel.
     TableChunk& ch = *chunks_[c];
     ExclusiveChunkGuard guard(ch.latch);
+    EnsureResidentLocked(ch);
     MoveLog log;
     for (const uint32_t idx : by_chunk[c]) {
       const BatchWrite& w = run[idx];
@@ -576,6 +636,11 @@ void PartitionedTable::SnapshotChunkSortedKeys(size_t c,
   out->clear();
   const TableChunk& ch = *chunks_[c];
   SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    const persist::PersistedChunk pc = LoadEvicted(ch);
+    *out = persist::DecodeForPromotion(pc).sorted_keys;
+    return;
+  }
   const auto& chunk = ch.keys;
   out->reserve(chunk.size());
   const std::vector<Value>& data = chunk.raw_data();
@@ -595,6 +660,13 @@ void PartitionedTable::SnapshotChunkPartitionSizes(size_t c,
   out->clear();
   const TableChunk& ch = *chunks_[c];
   SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    out->reserve(ch.evicted->parts.size());
+    for (const auto& p : ch.evicted->parts) {
+      out->push_back(static_cast<size_t>(p.size));
+    }
+    return;
+  }
   out->reserve(ch.keys.num_partitions());
   for (size_t t = 0; t < ch.keys.num_partitions(); ++t) {
     out->push_back(ch.keys.partition(t).size);
@@ -605,6 +677,7 @@ bool PartitionedTable::RepartitionChunk(size_t c, const ChunkLayoutSpec& spec) {
   if (spec.partition_sizes.empty()) return false;
   TableChunk& ch = *chunks_[c];
   ExclusiveChunkGuard guard(ch.latch);
+  EnsureResidentLocked(ch);
   if (ch.keys.size() == 0) return false;  // Build requires live data
   RepartitionChunkLocked(ch, spec);
   return true;
@@ -667,15 +740,29 @@ void PartitionedTable::RepartitionChunkLocked(TableChunk& ch,
   PartitionedColumnChunk new_chunk = PartitionedColumnChunk::Build(
       std::move(keys), std::move(sizes), std::move(ghosts), opts_.chunk);
 
+  std::vector<std::vector<Payload>> new_payload =
+      PlacePayloadRows(new_chunk, rows_by_col);
+
+  ch.keys = std::move(new_chunk);
+  ch.payload = std::move(new_payload);
+  // The access counters are frequency accounting the advisor and encoding
+  // gates keep consuming; they describe the data, not the geometry, so they
+  // survive the swap.
+  RestoreChunkStats(ch.keys.stats(), carry);
+}
+
+std::vector<std::vector<Payload>> PartitionedTable::PlacePayloadRows(
+    const PartitionedColumnChunk& chunk,
+    const std::vector<std::vector<Payload>>& rows_by_col) const {
   // Payload arrays mirror the new slot layout (values packed at the head of
   // each partition region, free slots zero-filled) — same packing as Build.
   std::vector<std::vector<Payload>> new_payload(payload_cols_);
   for (size_t col = 0; col < payload_cols_; ++col) {
-    new_payload[col].assign(new_chunk.capacity(), 0);
+    new_payload[col].assign(chunk.capacity(), 0);
   }
   size_t src = 0;
-  for (size_t t = 0; t < new_chunk.num_partitions(); ++t) {
-    const auto& p = new_chunk.partition(t);
+  for (size_t t = 0; t < chunk.num_partitions(); ++t) {
+    const auto& p = chunk.partition(t);
     for (size_t s = 0; s < p.size; ++s) {
       for (size_t col = 0; col < payload_cols_; ++col) {
         new_payload[col][p.begin + s] = rows_by_col[col][src + s];
@@ -683,13 +770,11 @@ void PartitionedTable::RepartitionChunkLocked(TableChunk& ch,
     }
     src += p.size;
   }
+  return new_payload;
+}
 
-  ch.keys = std::move(new_chunk);
-  ch.payload = std::move(new_payload);
-  // The access counters are frequency accounting the advisor and encoding
-  // gates keep consuming; they describe the data, not the geometry, so they
-  // survive the swap.
-  ChunkStats& stats = ch.keys.stats();
+void PartitionedTable::RestoreChunkStats(ChunkStats& stats,
+                                         const ChunkStatsSnapshot& carry) {
   stats.element_reads.store(carry.element_reads);
   stats.element_writes.store(carry.element_writes);
   stats.ripple_steps.store(carry.ripple_steps);
@@ -700,6 +785,143 @@ void PartitionedTable::RepartitionChunkLocked(TableChunk& ch,
   stats.compressed_payload_scans.store(carry.compressed_payload_scans);
   stats.payload_partitions_pruned.store(carry.payload_partitions_pruned);
   stats.grows.store(carry.grows);
+  stats.evictions.store(carry.evictions);
+  stats.promotions.store(carry.promotions);
+  stats.disk_reads.store(carry.disk_reads);
+  stats.disk_bytes_read.store(carry.disk_bytes_read);
+}
+
+void PartitionedTable::SnapshotForPersistLocked(
+    const TableChunk& ch, std::vector<persist::ChunkPartitionMeta>* parts,
+    std::vector<Value>* live_keys,
+    std::vector<std::vector<Payload>>* live_payload) const {
+  const auto& chunk = ch.keys;
+  parts->clear();
+  parts->reserve(chunk.num_partitions());
+  live_keys->clear();
+  live_keys->reserve(chunk.size());
+  live_payload->assign(payload_cols_, {});
+  for (auto& col : *live_payload) col.reserve(chunk.size());
+  const std::vector<Value>& data = chunk.raw_data();
+  for (size_t t = 0; t < chunk.num_partitions(); ++t) {
+    const auto& p = chunk.partition(t);
+    persist::ChunkPartitionMeta meta;
+    meta.size = p.size;
+    meta.cap = p.cap;
+    meta.upper = p.upper;
+    meta.min_val = p.min_val;
+    meta.max_val = p.max_val;
+    parts->push_back(meta);
+    for (size_t s = p.begin; s < p.begin + p.size; ++s) {
+      live_keys->push_back(data[s]);
+      for (size_t col = 0; col < payload_cols_; ++col) {
+        (*live_payload)[col].push_back(ch.payload[col][s]);
+      }
+    }
+  }
+}
+
+void PartitionedTable::SnapshotChunkForPersist(
+    size_t c, std::vector<persist::ChunkPartitionMeta>* parts,
+    std::vector<Value>* live_keys,
+    std::vector<std::vector<Payload>>* live_payload) const {
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  CASPER_CHECK_MSG(ch.evicted == nullptr,
+                   "persist snapshot of an evicted chunk");
+  SnapshotForPersistLocked(ch, parts, live_keys, live_payload);
+}
+
+bool PartitionedTable::EvictChunk(size_t c, const std::string& path) {
+  TableChunk& ch = *chunks_[c];
+  ExclusiveChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr || ch.keys.size() == 0) return false;
+  std::vector<persist::ChunkPartitionMeta> parts;
+  std::vector<Value> live_keys;
+  std::vector<std::vector<Payload>> live_payload;
+  SnapshotForPersistLocked(ch, &parts, &live_keys, &live_payload);
+  const persist::PersistedChunk pc = persist::ChunkWriter::Encode(
+      c, std::move(parts), live_keys, live_payload);
+  if (!persist::ChunkWriter::Write(path, pc).ok()) return false;
+  ch.evicted = std::make_unique<persist::EvictedChunkState>(
+      pc.ToEvictedState(path));
+  ch.keys.ReleaseStorage();
+  for (auto& col : ch.payload) {
+    col.clear();
+    col.shrink_to_fit();
+  }
+  ++ch.keys.stats().evictions;
+  // The chunk stops consulting the encoding cache entirely; drop its slot so
+  // the stale encoding's memory goes with the eviction.
+  compressed_.Invalidate(c);
+  return true;
+}
+
+bool PartitionedTable::PromoteChunk(size_t c) {
+  TableChunk& ch = *chunks_[c];
+  ExclusiveChunkGuard guard(ch.latch);
+  if (ch.evicted == nullptr) return false;
+  EnsureResidentLocked(ch);
+  return true;
+}
+
+void PartitionedTable::EnsureResidentLocked(TableChunk& ch) {
+  if (ch.evicted == nullptr) return;
+  persist::PersistedChunk pc;
+  const Status s = persist::ChunkReader::Read(ch.evicted->path, &pc);
+  CASPER_CHECK_MSG(s.ok(), "tier chunk file unreadable during promotion");
+  persist::PromotedChunkData data = persist::DecodeForPromotion(pc);
+  // Build re-appends the configured spare tail to the last partition; the
+  // stored caps already include it, so take it back out of the ghost budget
+  // or the capacity envelope would creep on every evict/promote cycle.
+  if (!data.ghosts.empty() && opts_.chunk.spare_tail > 0) {
+    data.ghosts.back() -= std::min(data.ghosts.back(), opts_.chunk.spare_tail);
+  }
+  const ChunkStatsSnapshot carry = ch.keys.StatsSnapshot();
+  PartitionedColumnChunk new_chunk =
+      PartitionedColumnChunk::Build(std::move(data.sorted_keys),
+                                    std::move(data.sizes),
+                                    std::move(data.ghosts), opts_.chunk);
+  std::vector<std::vector<Payload>> new_payload =
+      PlacePayloadRows(new_chunk, data.payload);
+  const std::string stale_path = ch.evicted->path;
+  ch.keys = std::move(new_chunk);
+  ch.payload = std::move(new_payload);
+  ch.evicted.reset();
+  RestoreChunkStats(ch.keys.stats(), carry);
+  ChunkStats& stats = ch.keys.stats();
+  ++stats.promotions;
+  ++stats.disk_reads;
+  stats.disk_bytes_read.Add(pc.file_bytes);
+  // The tier file is stale the moment the chunk is writable again; recovery
+  // wipes the tier dir anyway, but don't leave bytes behind mid-run.
+  persist::RemoveFileIfExists(stale_path);
+}
+
+bool PartitionedTable::ChunkResident(size_t c) const {
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  return ch.evicted == nullptr;
+}
+
+size_t PartitionedTable::ChunkMemoryBytes(size_t c) const {
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  size_t bytes = ch.keys.capacity() * sizeof(Value);
+  for (const auto& col : ch.payload) bytes += col.size() * sizeof(Payload);
+  return bytes;
+}
+
+size_t PartitionedTable::ChunkFootprintIfResident(size_t c) const {
+  const TableChunk& ch = *chunks_[c];
+  SharedChunkGuard guard(ch.latch);
+  if (ch.evicted != nullptr) {
+    return static_cast<size_t>(ch.evicted->capacity) *
+           (sizeof(Value) + payload_cols_ * sizeof(Payload));
+  }
+  size_t bytes = ch.keys.capacity() * sizeof(Value);
+  for (const auto& col : ch.payload) bytes += col.size() * sizeof(Payload);
+  return bytes;
 }
 
 uint64_t PartitionedTable::LayoutFingerprint() const {
@@ -711,6 +933,20 @@ uint64_t PartitionedTable::LayoutFingerprint() const {
   for (size_t c = 0; c < chunks_.size(); ++c) {
     const TableChunk& ch = *chunks_[c];
     SharedChunkGuard guard(ch.latch);
+    if (ch.evicted != nullptr) {
+      // Evicted chunks contribute the geometry recorded at eviction time:
+      // begins are prefix sums of caps (the contiguous-layout invariant), so
+      // the fingerprint is stable across evict/promote round trips.
+      mix(ch.evicted->parts.size());
+      uint64_t begin = 0;
+      for (const auto& p : ch.evicted->parts) {
+        mix(begin);
+        mix(p.cap);
+        mix(static_cast<uint64_t>(p.upper));
+        begin += p.cap;
+      }
+      continue;
+    }
     mix(ch.keys.num_partitions());
     for (size_t t = 0; t < ch.keys.num_partitions(); ++t) {
       const auto& p = ch.keys.partition(t);
@@ -727,6 +963,21 @@ void PartitionedTable::ValidateInvariants() const {
   for (size_t c = 0; c < chunks_.size(); ++c) {
     const TableChunk& ch = *chunks_[c];
     SharedChunkGuard guard(ch.latch);
+    if (ch.evicted != nullptr) {
+      // Cold chunk: storage is released; the eviction record must still
+      // account for every live row and the tier file must be readable.
+      uint64_t recorded = 0;
+      for (const auto& p : ch.evicted->parts) {
+        CASPER_CHECK(p.size <= p.cap);
+        recorded += p.size;
+      }
+      CASPER_CHECK(recorded == ch.evicted->rows);
+      CASPER_CHECK(ch.keys.size() == ch.evicted->rows);
+      for (const auto& col : ch.payload) CASPER_CHECK(col.empty());
+      CASPER_CHECK(persist::FileExists(ch.evicted->path));
+      live += ch.keys.size();
+      continue;
+    }
     ch.keys.ValidateInvariants();
     live += ch.keys.size();
     for (const auto& col : ch.payload) {

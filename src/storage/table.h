@@ -5,15 +5,23 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "exec/scan_spec.h"
+#include "persist/evicted_chunk.h"
 #include "storage/chunk_latch.h"
 #include "storage/column_chunk.h"
 #include "storage/compressed_cache.h"
 #include "storage/types.h"
+#include "util/status.h"
 
 namespace casper {
 
 class ThreadPool;
+
+namespace persist {
+struct PersistedChunk;
+}  // namespace persist
 
 /// A column-group table in the HAP schema: one key column a0 (the sort /
 /// partition attribute) plus `p` fixed-width payload columns a1..ap.
@@ -251,6 +259,43 @@ class PartitionedTable {
   /// "disabled maintenance never mutates layout" test hook.
   uint64_t LayoutFingerprint() const;
 
+  // --- Tiered storage (persist/) ---------------------------------------------
+  // A chunk is either resident (keys + payload in memory) or evicted (its
+  // data lives in a .cspr tier file; only an EvictedChunkState summary stays
+  // resident). Reads on evicted chunks answer from the file through the cold
+  // scan paths (persist/cold_scan.h) with zone-map pushdown — no
+  // materialization; any write to an evicted chunk promotes it first, under
+  // the same exclusive latch the write already holds.
+
+  /// Demotes chunk c to `path` (one durable .cspr file) and releases its
+  /// in-memory storage, under the chunk's exclusive latch. Returns false
+  /// (no-op) if the chunk is already evicted, empty, or the write fails.
+  bool EvictChunk(size_t c, const std::string& path);
+
+  /// Promotes chunk c back to residency (no-op if already resident).
+  /// Geometry is rebuilt through the deterministic Build path from the tier
+  /// file; the stale tier file is removed.
+  bool PromoteChunk(size_t c);
+
+  /// Whether chunk c currently holds its data in memory.
+  bool ChunkResident(size_t c) const;
+
+  /// Resident bytes of chunk c's key + payload storage (0 when evicted).
+  size_t ChunkMemoryBytes(size_t c) const;
+
+  /// Bytes chunk c would occupy resident: its current footprint, or (when
+  /// evicted) the estimate from the stored capacity envelope — the tier
+  /// manager's admission check for promotions under a byte budget.
+  size_t ChunkFootprintIfResident(size_t c) const;
+
+  /// Snapshot of chunk c for the chunk-file writer, under the chunk's shared
+  /// latch: per-partition geometry plus live keys and payload rows in
+  /// partition order (exactly the ChunkWriter::Encode input contract).
+  void SnapshotChunkForPersist(
+      size_t c, std::vector<persist::ChunkPartitionMeta>* parts,
+      std::vector<Value>* live_keys,
+      std::vector<std::vector<Payload>>* live_payload) const;
+
   // --- Introspection -----------------------------------------------------------
 
   size_t num_rows() const { return static_cast<size_t>(rows_.load()); }
@@ -292,6 +337,10 @@ class PartitionedTable {
     mutable ChunkLatch latch;
     PartitionedColumnChunk keys GUARDED_BY(latch);
     std::vector<std::vector<Payload>> payload GUARDED_BY(latch);  // [col][slot]
+    /// Set while the chunk's data lives in a tier file (keys/payload storage
+    /// released); null when resident. Reads branch on it under the shared
+    /// latch; eviction/promotion flip it under the exclusive latch.
+    std::unique_ptr<persist::EvictedChunkState> evicted GUARDED_BY(latch);
   };
 
   PartitionedTable() = default;
@@ -308,6 +357,38 @@ class PartitionedTable {
   /// in ascending chunk index, see UpdateKey).
   bool MoveRowAcrossChunks(TableChunk& src, TableChunk& dst, Value old_key,
                            Value new_key) REQUIRES(src.latch, dst.latch);
+
+  /// Reads + parses an evicted chunk's tier file, accounting the disk read
+  /// on the chunk's counters. The file must parse: a corrupt tier file under
+  /// a running engine is unrecoverable here (recovery-time corruption is
+  /// handled by wiping the tier and rebuilding from base + journal).
+  persist::PersistedChunk LoadEvicted(const TableChunk& ch) const
+      REQUIRES_SHARED(ch.latch);
+
+  /// Brings an evicted chunk back to residency in place (no-op when already
+  /// resident): decode the tier file, rebuild through Build (stats carried
+  /// over like a re-partition), remove the now-stale tier file.
+  void EnsureResidentLocked(TableChunk& ch) REQUIRES(ch.latch);
+
+  /// The locked core of SnapshotChunkForPersist (shared by EvictChunk, whose
+  /// exclusive hold satisfies the shared requirement).
+  void SnapshotForPersistLocked(
+      const TableChunk& ch, std::vector<persist::ChunkPartitionMeta>* parts,
+      std::vector<Value>* live_keys,
+      std::vector<std::vector<Payload>>* live_payload) const
+      REQUIRES_SHARED(ch.latch);
+
+  /// Payload arrays mirroring a freshly Built chunk's slot layout (values
+  /// packed at each partition head, free slots zero-filled) from rows given
+  /// in the chunk's sorted-live order — shared by re-partition and promotion.
+  std::vector<std::vector<Payload>> PlacePayloadRows(
+      const PartitionedColumnChunk& chunk,
+      const std::vector<std::vector<Payload>>& rows_by_col) const;
+
+  /// Re-seeds a rebuilt chunk's counters from a pre-swap snapshot (the stats
+  /// survive re-partition, eviction and promotion alike).
+  static void RestoreChunkStats(ChunkStats& stats,
+                                const ChunkStatsSnapshot& carry);
 
   /// Chunk-c encoding snapshot (key frame + advisor-chosen packed payload
   /// columns + payload zone maps) if cached and valid at the chunk's current
@@ -343,6 +424,10 @@ void PartitionedTable::ForEachRowInRange(Value lo, Value hi, Fn&& fn) const {
     // The shared latch spans the callback too: fn may read payload slots.
     const TableChunk& ch = *chunks_[c];
     SharedChunkGuard guard(ch.latch);
+    // Slot-surfacing iteration has no cold equivalent (an evicted chunk has
+    // no slots); callers of this test/capture hook work on resident tables.
+    CASPER_CHECK_MSG(ch.evicted == nullptr,
+                     "ForEachRowInRange requires resident chunks");
     const auto& chunk = ch.keys;
     chunk.ForEachSlotInRange(
         lo, hi, [&](uint32_t slot) { fn(c, slot, chunk.raw_data()[slot]); });

@@ -119,6 +119,10 @@ struct ChunkStatsSnapshot {
   uint64_t compressed_payload_scans = 0;
   uint64_t payload_partitions_pruned = 0;
   uint64_t grows = 0;
+  uint64_t evictions = 0;
+  uint64_t promotions = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_bytes_read = 0;
 };
 
 /// The unified stats read surface: one coherent counter snapshot per chunk,
@@ -142,6 +146,10 @@ struct StatsSnapshotRegistry {
       t.compressed_payload_scans += s.compressed_payload_scans;
       t.payload_partitions_pruned += s.payload_partitions_pruned;
       t.grows += s.grows;
+      t.evictions += s.evictions;
+      t.promotions += s.promotions;
+      t.disk_reads += s.disk_reads;
+      t.disk_bytes_read += s.disk_bytes_read;
     }
     return t;
   }
@@ -171,6 +179,10 @@ struct ChunkStats {
                                              ///< payload zone map excluded a
                                              ///< predicate range
   RelaxedCounter grows;
+  RelaxedCounter evictions;         ///< times this chunk was demoted to disk
+  RelaxedCounter promotions;        ///< times it was rebuilt back in memory
+  RelaxedCounter disk_reads;        ///< cold reads served from the chunk file
+  RelaxedCounter disk_bytes_read;   ///< bytes those cold reads pulled off disk
 
   ChunkStatsSnapshot Snapshot() const {
     ChunkStatsSnapshot s;
@@ -184,6 +196,10 @@ struct ChunkStats {
     s.compressed_payload_scans = compressed_payload_scans.load();
     s.payload_partitions_pruned = payload_partitions_pruned.load();
     s.grows = grows.load();
+    s.evictions = evictions.load();
+    s.promotions = promotions.load();
+    s.disk_reads = disk_reads.load();
+    s.disk_bytes_read = disk_bytes_read.load();
     return s;
   }
 
@@ -198,6 +214,10 @@ struct ChunkStats {
     compressed_payload_scans.store(0);
     payload_partitions_pruned.store(0);
     grows.store(0);
+    evictions.store(0);
+    promotions.store(0);
+    disk_reads.store(0);
+    disk_bytes_read.store(0);
   }
 };
 

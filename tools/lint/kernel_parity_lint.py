@@ -21,6 +21,12 @@ Kernels outside the scalar namespace (the packed/scan-on-compressed family:
 CountPackedInRange, SumPacked, ...) are single-implementation by design —
 they work on bit-packed words where the unpack IS the kernel — and are only
 checked for test coverage (rule 5).
+
+Rule 6 covers the tiered-storage consumers: everything under src/persist/
+(the cold-scan path runs the same packed kernels over chunk files) must call
+kernels through the top-level dispatched entry points — a direct scalar:: or
+avx2:: call there would silently pin cold scans to one implementation and
+skip the runtime dispatch the parity contract exists to protect.
 """
 
 import re
@@ -112,6 +118,19 @@ def main() -> int:
     for name in sorted(scalar_decls | (top_level_names - NON_KERNEL_NAMES)):
         if name not in test_text:
             errors.append(f"{TEST}: kernel {name} is never exercised")
+
+    # 6. the persistence layer (cold scans over chunk files) goes through the
+    #    dispatched entry points only — never a pinned scalar::/avx2:: call.
+    ns_call = re.compile(r"\b(scalar|avx2)::")
+    for path in sorted((root / "src" / "persist").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        for i, line in enumerate(strip_comments(path.read_text()).splitlines()):
+            if ns_call.search(line):
+                errors.append(
+                    f"{rel}:{i + 1}: persist code must use the dispatched "
+                    f"kernels:: entry points, not scalar::/avx2:: directly")
 
     if errors:
         for e in errors:
